@@ -1,0 +1,183 @@
+(* hsyn — command-line driver for the H-SYN behavioral synthesis
+   system.
+
+   Subcommands:
+     synth    synthesize a benchmark or a textual DFG file
+     list     list built-in benchmarks
+     library  print the default module library (Table 1)
+     dump     print a benchmark in the textual DFG format
+     dot      print a benchmark DFG in Graphviz format *)
+
+module Dfg = Hsyn_dfg.Dfg
+module Registry = Hsyn_dfg.Registry
+module Text = Hsyn_dfg.Text
+module Flatten = Hsyn_dfg.Flatten
+module Library = Hsyn_modlib.Library
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Area = Hsyn_eval.Area
+module Fsm = Hsyn_eval.Fsm
+module Cost = Hsyn_core.Cost
+module Clib = Hsyn_core.Clib
+module S = Hsyn_core.Synthesize
+module Suite = Hsyn_benchmarks.Suite
+open Cmdliner
+
+let load_input bench file dfg_name =
+  match bench, file with
+  | Some name, None -> (
+      match Suite.by_name name with
+      | Some b -> Ok (b.Suite.registry, b.Suite.dfg)
+      | None -> Error (Printf.sprintf "unknown benchmark %S (try 'hsyn list')" name))
+  | None, Some path -> (
+      match Text.parse_file path with
+      | { Text.registry; graphs } -> (
+          let pick =
+            match dfg_name with
+            | None -> ( match graphs with [ g ] -> Some g | g :: _ -> Some g | [] -> None)
+            | Some n -> List.find_opt (fun (g : Dfg.t) -> g.Dfg.name = n) graphs
+          in
+          match pick with
+          | Some g -> Ok (registry, g)
+          | None -> Error "no matching dfg block in file")
+      | exception Text.Parse_error (line, msg) ->
+          Error (Printf.sprintf "%s:%d: %s" path line msg)
+      | exception Sys_error msg -> Error msg)
+  | Some _, Some _ -> Error "pass either --bench or --file, not both"
+  | None, None -> Error "one of --bench or --file is required"
+
+(* ------------------------------------------------------------------ *)
+(* synth *)
+
+let do_synth bench file dfg_name objective lf sampling mode seed show_rtl show_fsm show_sched show_verilog =
+  match load_input bench file dfg_name with
+  | Error msg ->
+      prerr_endline ("hsyn: " ^ msg);
+      1
+  | Ok (registry, dfg) -> (
+      let lib = Library.default in
+      let objective =
+        match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
+      in
+      let min_ns = S.min_sampling_ns lib registry dfg in
+      let sampling_ns = match sampling with Some ns -> ns | None -> lf *. min_ns in
+      let config = { S.default_config with S.seed } in
+      let run = if mode = "flat" then S.run_flat else S.run in
+      Printf.printf "behavior %s: %d operations after flattening, minimum sampling %.1f ns\n"
+        dfg.Dfg.name
+        (Flatten.total_operations registry dfg)
+        min_ns;
+      Printf.printf "synthesizing for %s, sampling period %.1f ns (laxity %.2f)\n%!"
+        (Cost.objective_name objective) sampling_ns (sampling_ns /. min_ns);
+      match run ~config ~lib registry dfg objective ~sampling_ns with
+      | exception Failure msg ->
+          prerr_endline ("hsyn: " ^ msg);
+          1
+      | r ->
+          Printf.printf "\nresult:\n";
+          Printf.printf "  V_dd          : %.1f V\n" r.S.ctx.Design.vdd;
+          Printf.printf "  clock period  : %.1f ns\n" r.S.ctx.Design.clk_ns;
+          Printf.printf "  schedule      : %d cycles (deadline %d)\n" r.S.eval.Cost.makespan
+            r.S.deadline_cycles;
+          Printf.printf "  area          : %.1f\n" r.S.eval.Cost.area;
+          Printf.printf "  power         : %.3f\n" r.S.eval.Cost.power;
+          Printf.printf "  synthesis time: %.2f s (%d contexts, %d moves)\n" r.S.elapsed_s
+            r.S.contexts_tried r.S.stats.Hsyn_core.Pass.moves_committed;
+          if show_rtl then Format.printf "@.%a@." Design.pp r.S.design;
+          let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
+          let sch = Sched.schedule r.S.ctx cs r.S.design in
+          if show_sched then Format.printf "@.%a@." Sched.pp_schedule (r.S.design, sch);
+          if show_fsm then Format.printf "@.%a@." Fsm.pp (Fsm.generate r.S.design sch);
+          if show_verilog then print_string (Hsyn_eval.Netlist.emit r.S.ctx r.S.design sch);
+          0)
+
+let bench_arg =
+  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Built-in benchmark to synthesize.")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Textual DFG file to synthesize.")
+
+let dfg_arg =
+  Arg.(value & opt (some string) None & info [ "dfg" ] ~docv:"NAME" ~doc:"Which dfg block of the file to use.")
+
+let objective_arg =
+  Arg.(value & opt string "area" & info [ "o"; "objective" ] ~docv:"area|power" ~doc:"Optimization objective.")
+
+let lf_arg =
+  Arg.(value & opt float 2.2 & info [ "lf" ] ~docv:"FACTOR" ~doc:"Laxity factor: sampling period as a multiple of the minimum.")
+
+let sampling_arg =
+  Arg.(value & opt (some float) None & info [ "sampling" ] ~docv:"NS" ~doc:"Absolute sampling period in ns (overrides --lf).")
+
+let mode_arg =
+  Arg.(value & opt string "hier" & info [ "m"; "mode" ] ~docv:"hier|flat" ~doc:"Hierarchical synthesis or the flattened baseline.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Trace RNG seed.")
+let rtl_flag = Arg.(value & flag & info [ "rtl" ] ~doc:"Dump the RTL structure of the result.")
+let fsm_flag = Arg.(value & flag & info [ "fsm" ] ~doc:"Dump the controller FSM of the result.")
+let sched_flag = Arg.(value & flag & info [ "sched" ] ~doc:"Dump the schedule of the result.")
+
+let verilog_flag =
+  Arg.(value & flag & info [ "verilog" ] ~doc:"Dump a Verilog-flavoured structural netlist of the result.")
+
+let synth_cmd =
+  let doc = "synthesize a power- or area-optimized RTL circuit" in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(
+      const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
+      $ mode_arg $ seed_arg $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
+
+(* ------------------------------------------------------------------ *)
+(* list / library / dump / dot *)
+
+let do_list () =
+  List.iter
+    (fun (b : Suite.t) ->
+      Printf.printf "%-18s %s (%d hierarchical nodes, %d ops flattened)\n" b.Suite.name
+        b.Suite.description (Dfg.n_calls b.Suite.dfg)
+        (Flatten.total_operations b.Suite.registry b.Suite.dfg))
+    (Suite.all () @ [ Suite.paulin () ]);
+  0
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"list the built-in benchmarks") Term.(const do_list $ const ())
+
+let do_library () =
+  Format.printf "%a@." Library.pp Library.default;
+  0
+
+let library_cmd =
+  Cmd.v
+    (Cmd.info "library" ~doc:"print the default module library (the paper's Table 1)")
+    Term.(const do_library $ const ())
+
+let do_dump bench file dfg_name dot =
+  match load_input bench file dfg_name with
+  | Error msg ->
+      prerr_endline ("hsyn: " ^ msg);
+      1
+  | Ok (registry, dfg) ->
+      if dot then print_string (Text.to_dot dfg)
+      else begin
+        let buf = Buffer.create 1024 in
+        List.iter
+          (fun bname ->
+            List.iter (fun v -> Text.print_dfg buf ~behavior:bname v) (Registry.variants registry bname))
+          (Registry.behaviors registry);
+        Text.print_dfg buf dfg;
+        print_string (Buffer.contents buf)
+      end;
+      0
+
+let dot_flag = Arg.(value & flag & info [ "dot" ] ~doc:"Graphviz output instead of the textual format.")
+
+let dump_cmd =
+  Cmd.v
+    (Cmd.info "dump" ~doc:"print a benchmark in the textual DFG exchange format")
+    Term.(const do_dump $ bench_arg $ file_arg $ dfg_arg $ dot_flag)
+
+let main =
+  let doc = "hierarchical behavioral synthesis of power- and area-optimized circuits" in
+  Cmd.group (Cmd.info "hsyn" ~version:"1.0.0" ~doc) [ synth_cmd; list_cmd; library_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/custom_library.ml: Format Hsyn_core Hsyn_dfg Hsyn_modlib Hsyn_rtl List Printf String

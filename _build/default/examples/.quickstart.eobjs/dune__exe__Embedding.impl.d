@@ -1,0 +1,1 @@
+examples/embedding.ml: Format Hsyn_core Hsyn_dfg Hsyn_embed Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched List Printf

@@ -1,0 +1,1 @@
+examples/iir_filter.ml: Array Hsyn_benchmarks Hsyn_core Hsyn_dfg Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_util List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hsyn_core Hsyn_dfg Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched Printf

@@ -1,0 +1,1 @@
+examples/voltage_sweep.ml: Float Hsyn_benchmarks Hsyn_core Hsyn_modlib Hsyn_rtl Hsyn_util List Printf

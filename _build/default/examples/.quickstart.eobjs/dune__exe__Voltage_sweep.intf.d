@@ -1,0 +1,1 @@
+examples/voltage_sweep.mli:

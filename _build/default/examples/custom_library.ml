@@ -1,0 +1,86 @@
+(* Using a custom module library and the textual DFG format.
+
+   A user brings their own functional units — here a fast DSP-style
+   multiply unit and a leaner adder set — plus a behavior described in
+   the textual exchange format, and synthesizes with that library
+   instead of the default one.
+
+   Run with:  dune exec examples/custom_library.exe *)
+
+module Text = Hsyn_dfg.Text
+module Op = Hsyn_dfg.Op
+module Fu = Hsyn_modlib.Fu
+module Library = Hsyn_modlib.Library
+module Design = Hsyn_rtl.Design
+module Cost = Hsyn_core.Cost
+module S = Hsyn_core.Synthesize
+
+let source =
+  {|
+# a 4-tap FIR filter with the coefficients as behavior inputs
+behavior fir4 variant fir4_direct
+  input x0
+  input x1
+  input x2
+  input x3
+  input c0
+  input c1
+  input c2
+  input c3
+  op m0 mult x0 c0
+  op m1 mult x1 c1
+  op m2 mult x2 c2
+  op m3 mult x3 c3
+  op s0 add m0 m1
+  op s1 add s0 m2
+  op s2 add s1 m3
+  output y s2
+end
+
+dfg fir_top
+  input x
+  const k0 3
+  const k1 5
+  const k2 5
+  const k3 3
+  delay x1 x
+  delay x2 x1
+  delay x3 x2
+  call f fir4 1 x x1 x2 x3 k0 k1 k2 k3
+  output y f.0
+end
+|}
+
+let unit name kind area delay_ns cap =
+  { Fu.name; kind; area; delay_ns; energy_cap = cap; pipelined = false }
+
+(* A custom technology: one big fast multiplier, one small slow one,
+   a single adder flavour, cheaper registers. *)
+let custom_lib =
+  {
+    Library.default with
+    Library.units =
+      [
+        unit "dsp_mult" (Fu.Unit [ Op.Mult ]) 120. 40. 4.5;
+        unit "tiny_mult" (Fu.Unit [ Op.Mult ]) 70. 110. 2.0;
+        unit "adder" (Fu.Unit [ Op.Add; Op.Sub ]) 26. 22. 0.9;
+        unit "adder_chain2" (Fu.Chain (Op.Add, 2)) 52. 24. 1.6;
+      ];
+    reg_area = 8.;
+  }
+
+let () =
+  let { Text.registry; graphs } = Text.parse_string source in
+  let dfg = List.hd graphs in
+  Printf.printf "parsed %s with behavior library: %s\n\n" dfg.Hsyn_dfg.Dfg.name
+    (String.concat ", " (Hsyn_dfg.Registry.behaviors registry));
+  let min_ns = S.min_sampling_ns custom_lib registry dfg in
+  Printf.printf "minimum sampling period with the custom library: %.1f ns\n" min_ns;
+  List.iter
+    (fun objective ->
+      let r = S.run ~lib:custom_lib registry dfg objective ~sampling_ns:(2.5 *. min_ns) in
+      Printf.printf "%s-optimized: V_dd=%.1f clk=%.1fns area=%.1f power=%.3f\n"
+        (Cost.objective_name objective) r.S.ctx.Design.vdd r.S.ctx.Design.clk_ns
+        r.S.eval.Cost.area r.S.eval.Cost.power;
+      Format.printf "%a@.@." Design.pp r.S.design)
+    [ Cost.Area; Cost.Power ]

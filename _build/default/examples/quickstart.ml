@@ -1,0 +1,58 @@
+(* Quickstart: describe a small behavior with the builder API,
+   synthesize an area-optimized and a power-optimized circuit for it,
+   and inspect the results.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module B = Hsyn_dfg.Dfg.Builder
+module Op = Hsyn_dfg.Op
+module Registry = Hsyn_dfg.Registry
+module Library = Hsyn_modlib.Library
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Fsm = Hsyn_eval.Fsm
+module Cost = Hsyn_core.Cost
+module S = Hsyn_core.Synthesize
+
+let () =
+  (* 1. Describe the behavior: y = (a+b)*(c+d) + e*f, one sample per
+     period. The builder checks arities and connectivity. *)
+  let b = B.create "quickstart" in
+  let a = B.input b "a" and x = B.input b "b" in
+  let c = B.input b "c" and d = B.input b "d" in
+  let e = B.input b "e" and f = B.input b "f" in
+  let s1 = B.op b ~label:"s1" Op.Add [ a; x ] in
+  let s2 = B.op b ~label:"s2" Op.Add [ c; d ] in
+  let m1 = B.op b ~label:"m1" Op.Mult [ s1; s2 ] in
+  let m2 = B.op b ~label:"m2" Op.Mult [ e; f ] in
+  B.output b ~label:"y" (B.op b ~label:"y_sum" Op.Add [ m1; m2 ]);
+  let dfg = B.finish b in
+
+  (* 2. Pick a throughput constraint. The laxity factor is relative to
+     the fastest possible implementation with the default library. *)
+  let lib = Library.default in
+  let registry = Registry.create () in
+  let min_ns = S.min_sampling_ns lib registry dfg in
+  let sampling_ns = 2.0 *. min_ns in
+  Printf.printf "minimum sampling period: %.1f ns; synthesizing for %.1f ns\n\n" min_ns sampling_ns;
+
+  (* 3. Synthesize for area, then for power. *)
+  let report tag (r : S.result) =
+    Printf.printf "%s: V_dd=%.1fV clk=%.1fns area=%.1f power=%.3f (%d cycles, %.2fs)\n" tag
+      r.S.ctx.Design.vdd r.S.ctx.Design.clk_ns r.S.eval.Cost.area r.S.eval.Cost.power
+      r.S.eval.Cost.makespan r.S.elapsed_s
+  in
+  let area_opt = S.run ~lib registry dfg Cost.Area ~sampling_ns in
+  report "area-optimized " area_opt;
+  let power_opt = S.run ~lib registry dfg Cost.Power ~sampling_ns in
+  report "power-optimized" power_opt;
+  Printf.printf "\npower saving: %.1fx at %.0f%% area overhead\n\n"
+    (area_opt.S.eval.Cost.power /. power_opt.S.eval.Cost.power)
+    (100. *. ((power_opt.S.eval.Cost.area /. area_opt.S.eval.Cost.area) -. 1.));
+
+  (* 4. Inspect the RTL: datapath structure, schedule, controller. *)
+  Format.printf "%a@.@." Design.pp area_opt.S.design;
+  let cs = Sched.relaxed ~deadline:area_opt.S.deadline_cycles dfg in
+  let sch = Sched.schedule area_opt.S.ctx cs area_opt.S.design in
+  Format.printf "%a@.@." Sched.pp_schedule (area_opt.S.design, sch);
+  Format.printf "%a@." Fsm.pp (Fsm.generate area_opt.S.design sch)

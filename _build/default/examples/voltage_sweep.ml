@@ -1,0 +1,78 @@
+(* Voltage/clock design-space sweep on the DCT benchmark.
+
+   Shows the V_dd-selection trade-off the synthesizer navigates: for
+   each supply voltage, synthesize the best power-optimized circuit at
+   several throughput constraints and print the resulting
+   power/area/feasibility surface — lower voltages only become
+   reachable once the sampling period is loose enough, and then win
+   on power quadratically.
+
+   Run with:  dune exec examples/voltage_sweep.exe *)
+
+module Suite = Hsyn_benchmarks.Suite
+module Library = Hsyn_modlib.Library
+module Voltage = Hsyn_modlib.Voltage
+module Design = Hsyn_rtl.Design
+module Cost = Hsyn_core.Cost
+module Clib = Hsyn_core.Clib
+module S = Hsyn_core.Synthesize
+module Table = Hsyn_util.Table
+
+let config =
+  (* moderate effort keeps the sweep quick *)
+  {
+    S.default_config with
+    S.max_passes = 2;
+    max_candidates = 30;
+    trace_length = 10;
+    max_clocks = 2;
+    clib_effort = { Clib.default_effort with Clib.max_moves = 4; max_passes = 1 };
+  }
+
+let () =
+  let lib = Library.default in
+  let b = Suite.dct () in
+  let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
+  Printf.printf "dct: minimum sampling period %.1f ns\n\n" min_ns;
+  let t = Table.create ~header:[ "L.F."; "V_dd (V)"; "clock (ns)"; "area"; "power"; "winner?" ] in
+  List.iter
+    (fun lf ->
+      let sampling_ns = lf *. min_ns in
+      (* what would each voltage give on its own? *)
+      let per_vdd =
+        List.filter_map
+          (fun vdd ->
+            let cfg = { config with S.vdd_candidates = [ vdd ] } in
+            match S.run ~config:cfg ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns with
+            | r -> Some (vdd, r)
+            | exception Failure _ -> None)
+          Voltage.candidates
+      in
+      let best_power =
+        List.fold_left (fun acc (_, r) -> Float.min acc r.S.eval.Cost.power) infinity per_vdd
+      in
+      List.iter
+        (fun (vdd, (r : S.result)) ->
+          Table.add_row t
+            [
+              Table.cell_f ~digits:1 lf;
+              Table.cell_f ~digits:1 vdd;
+              Table.cell_f ~digits:1 r.S.ctx.Design.clk_ns;
+              Table.cell_f ~digits:0 r.S.eval.Cost.area;
+              Table.cell_f ~digits:2 r.S.eval.Cost.power;
+              (if r.S.eval.Cost.power = best_power then "<- selected" else "");
+            ])
+        per_vdd;
+      List.iter
+        (fun vdd ->
+          if not (List.mem_assoc vdd per_vdd) then
+            Table.add_row t
+              [ Table.cell_f ~digits:1 lf; Table.cell_f ~digits:1 vdd; "-"; "-"; "-"; "infeasible" ])
+        Voltage.candidates;
+      Table.add_rule t)
+    [ 1.2; 2.2; 3.2 ];
+  Table.print t;
+  Printf.printf
+    "\nReading: at tight laxity only 5 V meets the throughput constraint; as slack grows,\n\
+     3.3 V (and eventually 2.4 V) become feasible and win on power — the V_dd-selection\n\
+     loop of the paper's SYNTHESIZE procedure automates exactly this choice.\n"

@@ -1,0 +1,1 @@
+lib/benchmarks/blocks.ml: Hsyn_dfg List

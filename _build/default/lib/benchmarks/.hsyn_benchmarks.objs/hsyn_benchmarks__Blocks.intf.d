@@ -1,0 +1,1 @@
+lib/benchmarks/blocks.mli: Hsyn_dfg

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Array Blocks Hsyn_dfg List Printf

@@ -1,0 +1,1 @@
+lib/core/clib.ml: Array Cost Float Format Fun Hashtbl Hsyn_dfg Hsyn_eval Hsyn_rtl Hsyn_sched Hsyn_util Initial List Moves Pass String

@@ -1,0 +1,1 @@
+lib/core/clib.mli: Format Hsyn_dfg Hsyn_rtl Hsyn_util

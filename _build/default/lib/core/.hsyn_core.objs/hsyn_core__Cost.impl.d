@@ -1,0 +1,1 @@
+lib/core/cost.ml: Float Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched

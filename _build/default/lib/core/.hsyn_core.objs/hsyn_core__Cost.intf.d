@@ -1,0 +1,1 @@
+lib/core/cost.mli: Hsyn_rtl Hsyn_sched

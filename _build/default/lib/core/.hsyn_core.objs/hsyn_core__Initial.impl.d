@@ -1,0 +1,1 @@
+lib/core/initial.ml: Array Hsyn_dfg Hsyn_modlib Hsyn_rtl Hsyn_sched List

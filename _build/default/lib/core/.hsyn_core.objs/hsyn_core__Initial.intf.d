@@ -1,0 +1,1 @@
+lib/core/initial.mli: Hsyn_dfg Hsyn_rtl

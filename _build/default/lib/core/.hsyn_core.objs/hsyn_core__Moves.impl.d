@@ -1,0 +1,1 @@
+lib/core/moves.ml: Array Cost Float Hsyn_dfg Hsyn_embed Hsyn_modlib Hsyn_rtl Hsyn_sched Hsyn_util Lazy List Printf

@@ -1,0 +1,1 @@
+lib/core/moves.mli: Cost Hsyn_dfg Hsyn_rtl Hsyn_sched

@@ -1,0 +1,1 @@
+lib/core/pass.ml: Cost Hsyn_rtl List Moves Printf

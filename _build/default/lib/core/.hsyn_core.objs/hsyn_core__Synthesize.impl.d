@@ -1,0 +1,1 @@
+lib/core/synthesize.ml: Array Clib Cost Float Hsyn_dfg Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched Hsyn_util Initial List Moves Pass Printf Unix

@@ -1,0 +1,1 @@
+lib/core/synthesize.mli: Clib Cost Hsyn_dfg Hsyn_eval Hsyn_modlib Hsyn_rtl Pass

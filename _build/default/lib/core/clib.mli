@@ -1,0 +1,47 @@
+(** The complex-module library (the paper's Figure 2).
+
+    For every behavior reachable from a top-level DFG, and every
+    registered DFG variant of it, a small set of ready-made RTL
+    modules is synthesized up front in the current technology context:
+    a fully parallel (fastest) module, an area-optimized module under
+    the tightest feasible deadline, and a power-optimized module under
+    a relaxed deadline. Moves of type A then select among these (and
+    across variants — the user-declared functional equivalences), and
+    move B resynthesizes them further against their environment. *)
+
+module Design = Hsyn_rtl.Design
+module Dfg = Hsyn_dfg.Dfg
+module Registry = Hsyn_dfg.Registry
+
+type t
+
+type effort = {
+  max_moves : int;
+  max_passes : int;
+  max_candidates : int;
+  trace : int array list -> int array list;
+      (** trims/extends the caller trace; identity by default *)
+}
+
+val default_effort : effort
+
+val build :
+  Design.ctx ->
+  Registry.t ->
+  rng:Hsyn_util.Rng.t ->
+  trace_length:int ->
+  effort:effort ->
+  top:Dfg.t ->
+  t
+(** Synthesize library modules for every behavior reachable from
+    [top], deepest behaviors first (so shallower modules can
+    instantiate deeper ones). *)
+
+val lookup : t -> string -> Design.rtl_module list
+(** Modules implementing a behavior; [[]] when unknown. *)
+
+val behaviors : t -> string list
+
+val pp : Design.ctx -> Format.formatter -> t -> unit
+(** Figure-2-style listing: every module with its behavior, resource
+    inventory, area and profile. *)

@@ -1,0 +1,38 @@
+(** Objective evaluation of design points.
+
+    Wraps scheduling, the area model and the power estimator into the
+    single cost oracle used by move gain computation. Infeasible
+    designs (schedule misses the throughput constraint) are never
+    preferred: their objective value is infinite. *)
+
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+
+type objective = Area | Power
+
+val objective_of_string : string -> objective option
+val objective_name : objective -> string
+
+type eval = {
+  area : float;  (** total area incl. controller *)
+  power : float;  (** normalized power; [nan] when not computed *)
+  energy_sample : float;  (** switched cap per sample; [nan] when not computed *)
+  makespan : int;
+  feasible : bool;
+}
+
+val evaluate :
+  ?with_power:bool ->
+  Design.ctx ->
+  Sched.constraints ->
+  sampling_ns:float ->
+  trace:int array list ->
+  Design.t ->
+  eval
+(** Evaluate a design point. [with_power] defaults to true; pass false
+    in area-only searches to skip the simulation. *)
+
+val objective_value : objective -> eval -> float
+(** The scalar being minimized: area, or power plus a small area
+    tie-break (see implementation note); [infinity] if the design is
+    infeasible or the required metric was not computed. *)

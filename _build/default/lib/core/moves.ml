@@ -1,0 +1,504 @@
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Registry = Hsyn_dfg.Registry
+module Dfg = Hsyn_dfg.Dfg
+module Op = Hsyn_dfg.Op
+module Fu = Hsyn_modlib.Fu
+module Library = Hsyn_modlib.Library
+module Embed = Hsyn_embed.Embed
+
+type kind = Select | Resynthesize | Merge | Split
+
+let kind_name = function
+  | Select -> "A:select"
+  | Resynthesize -> "B:resynth"
+  | Merge -> "C:merge"
+  | Split -> "D:split"
+
+type t = {
+  kind : kind;
+  description : string;
+  candidate : Design.t;
+  eval : Cost.eval;
+  gain : float;
+}
+
+type env = {
+  ctx : Design.ctx;
+  cs : Sched.constraints;
+  sampling_ns : float;
+  trace : int array list;
+  objective : Cost.objective;
+  registry : Registry.t;
+  complexes : string -> Design.rtl_module list;
+  resynth :
+    (Design.ctx -> Sched.constraints -> Cost.objective -> Design.t -> Design.t) option;
+  max_candidates : int;
+  allow_embed : bool;
+  allow_split : bool;
+  mutable fresh_names : int;
+}
+
+let fresh_name env base =
+  env.fresh_names <- env.fresh_names + 1;
+  Printf.sprintf "%s~%d" base env.fresh_names
+
+let with_power env = env.objective = Cost.Power
+
+let evaluate env d =
+  Cost.evaluate ~with_power:(with_power env) env.ctx env.cs ~sampling_ns:env.sampling_ns
+    ~trace:env.trace d
+
+(* Evaluate raw candidates and keep the best feasible one. *)
+let best_of env cur_value candidates =
+  let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r in
+  let candidates = take env.max_candidates candidates in
+  List.fold_left
+    (fun best (kind, description, candidate) ->
+      let eval = evaluate env candidate in
+      if not eval.Cost.feasible then best
+      else begin
+        let gain = cur_value -. Cost.objective_value env.objective eval in
+        let move = { kind; description; candidate; eval; gain } in
+        match best with Some b when b.gain >= gain -> best | _ -> Some move
+      end)
+    None candidates
+
+(* ------------------------------------------------------------------ *)
+(* Helpers on designs *)
+
+let single_behavior (rm : Design.rtl_module) =
+  match rm.Design.parts with [ (b, _) ] -> Some b | _ -> None
+
+let consumers_of_value (dfg : Dfg.t) (p : Dfg.port) =
+  let acc = ref [] in
+  Array.iteri
+    (fun dst (node : Dfg.node) ->
+      Array.iteri (fun port src -> if src = p then acc := (dst, port) :: !acc) node.Dfg.ins)
+    dfg.Dfg.nodes;
+  !acc
+
+(* Rebind all nodes from instance [j] onto [i] with merged unit type,
+   then drop [j]. *)
+let merge_simple d i j merged_kind =
+  let d = Design.with_inst d i merged_kind in
+  let d =
+    List.fold_left (fun d node -> Design.with_binding d node i) d (Design.nodes_on d j)
+  in
+  Design.compact d
+
+(* ------------------------------------------------------------------ *)
+(* Move family A: module selection *)
+
+let select_candidates env (d : Design.t) =
+  let lib = env.ctx.Design.lib in
+  (* rank unit swaps by how much objective they can plausibly win, so
+     truncation in [best_of] keeps the promising ones: big capacitance
+     cuts first for power, big area cuts first for area *)
+  let swap_score uses (old_fu : Fu.t) (alt : Fu.t) =
+    match env.objective with
+    | Cost.Power -> Float.of_int uses *. (old_fu.Fu.energy_cap -. alt.Fu.energy_cap)
+    | Cost.Area -> old_fu.Fu.area -. alt.Fu.area
+  in
+  let simple =
+    List.concat
+      (List.init (Array.length d.Design.insts) (fun i ->
+           if not (Design.inst_used d i) then []
+           else
+             match d.Design.insts.(i) with
+             | Design.Simple fu ->
+                 let uses = List.length (Design.nodes_on d i) in
+                 List.map
+                   (fun alt ->
+                     ( swap_score uses fu alt,
+                       ( Select,
+                         Printf.sprintf "I%d %s -> %s" i fu.Fu.name alt.Fu.name,
+                         Design.with_inst d i (Design.Simple alt) ) ))
+                   (Library.alternatives lib fu)
+             | Design.Module _ -> []))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  let complex =
+    List.concat
+      (List.init (Array.length d.Design.insts) (fun i ->
+           if not (Design.inst_used d i) then []
+           else
+             match d.Design.insts.(i) with
+             | Design.Module rm -> (
+                 match single_behavior rm with
+                 | None -> []
+                 | Some b ->
+                     env.complexes b
+                     |> List.filter (fun (rm' : Design.rtl_module) ->
+                            rm'.Design.rm_name <> rm.Design.rm_name)
+                     |> List.map (fun rm' ->
+                            ( Select,
+                              Printf.sprintf "I%d %s -> %s" i rm.Design.rm_name rm'.Design.rm_name,
+                              Design.with_inst d i (Design.Module rm') )))
+             | Design.Simple _ -> []))
+  in
+  simple @ complex
+
+(* ------------------------------------------------------------------ *)
+(* Move family B: resynthesis under environment constraints *)
+
+let resynth_candidates env (d : Design.t) =
+  match env.resynth with
+  | None -> []
+  | Some resynth ->
+      let dfg = d.Design.dfg in
+      let sch = Sched.schedule env.ctx env.cs d in
+      let alap = Sched.alap_start env.ctx ~deadline:env.cs.Sched.deadline d in
+      List.concat
+        (List.init (Array.length d.Design.insts) (fun i ->
+             match d.Design.insts.(i) with
+             | Design.Simple _ -> []
+             | Design.Module rm -> (
+                 match single_behavior rm, Design.nodes_on d i with
+                 | Some behavior, [ call ] ->
+                     let node = dfg.Dfg.nodes.(call) in
+                     let arrivals =
+                       Array.map
+                         (fun p -> sch.Sched.avail.(Design.value_index dfg p))
+                         node.Dfg.ins
+                     in
+                     let latest_out out =
+                       let p = { Dfg.node = call; out } in
+                       let cons = consumers_of_value dfg p in
+                       List.fold_left
+                         (fun acc (c, _) ->
+                           match dfg.Dfg.nodes.(c).Dfg.kind with
+                           | Dfg.Output | Dfg.Delay _ -> min acc env.cs.Sched.deadline
+                           | _ -> min acc (max 0 alap.(c)))
+                         env.cs.Sched.deadline cons
+                     in
+                     let outs = Array.init node.Dfg.n_out latest_out in
+                     let base = Array.fold_left min max_int arrivals in
+                     let base = if base = max_int then 0 else base in
+                     let rel_arr = Array.map (fun a -> a - base) arrivals in
+                     let rel_out = Array.map (fun o -> max 1 (o - base)) outs in
+                     let inner_deadline = Array.fold_left max 1 rel_out in
+                     let inner_cs =
+                       {
+                         Sched.input_arrival = rel_arr;
+                         output_deadline = Some rel_out;
+                         deadline = inner_deadline;
+                       }
+                     in
+                     let part = Design.module_part rm behavior in
+                     let part' = resynth env.ctx inner_cs env.objective part in
+                     if part' == part then []
+                     else
+                       let rm' =
+                         {
+                           Design.rm_name = fresh_name env rm.Design.rm_name;
+                           parts = [ (behavior, part') ];
+                         }
+                       in
+                       [
+                         ( Resynthesize,
+                           Printf.sprintf "I%d resynthesize %s under slack" i rm.Design.rm_name,
+                           Design.with_inst d i (Design.Module rm') );
+                       ]
+                 | _ -> [])))
+
+(* ------------------------------------------------------------------ *)
+(* Move family C: merging / resource sharing *)
+
+let simple_pairs (d : Design.t) =
+  let n = Array.length d.Design.insts in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Design.inst_used d i && Design.inst_used d j then
+        match d.Design.insts.(i), d.Design.insts.(j) with
+        | Design.Simple fi, Design.Simple fj when not (Fu.is_chain fi || Fu.is_chain fj) ->
+            if Fu.compatible fi fj then pairs := (i, j, Design.Simple fi) :: !pairs
+            else if Fu.compatible fj fi then pairs := (i, j, Design.Simple fj) :: !pairs
+        | _ -> ()
+    done
+  done;
+  (* largest area saving first *)
+  let saved (i, j, merged) =
+    let area = function Design.Simple fu -> fu.Fu.area | Design.Module _ -> 0. in
+    area d.Design.insts.(i) +. area d.Design.insts.(j) -. area merged
+  in
+  List.sort (fun a b -> compare (saved b) (saved a)) !pairs
+
+let merge_simple_candidates (d : Design.t) =
+  List.map
+    (fun (i, j, merged) ->
+      (Merge, Printf.sprintf "share I%d+I%d" i j, merge_simple d i j merged))
+    (simple_pairs d)
+
+(* Chain fusion: nodes a -> b (both additions on separate plain units)
+   fused onto a chained adder; extended to three for chained_add3. *)
+let chain_candidates env (d : Design.t) =
+  let lib = env.ctx.Design.lib in
+  let dfg = d.Design.dfg in
+  let is_plain_add id =
+    dfg.Dfg.nodes.(id).Dfg.kind = Dfg.Op Op.Add
+    && d.Design.node_inst.(id) >= 0
+    &&
+    match d.Design.insts.(d.Design.node_inst.(id)) with
+    | Design.Simple fu -> not (Fu.is_chain fu)
+    | Design.Module _ -> false
+  in
+  let feeds a b =
+    Array.exists (fun ({ Dfg.node; _ } : Dfg.port) -> node = a) dfg.Dfg.nodes.(b).Dfg.ins
+  in
+  let fuse nodes chain_fu =
+    (* allocate the chain instance, rebind members, unregister
+       chain-internal values consumed nowhere else *)
+    let d', inst = Design.add_inst d (Design.Simple chain_fu) in
+    let d' = List.fold_left (fun acc id -> Design.with_binding acc id inst) d' nodes in
+    let d' =
+      List.fold_left
+        (fun acc id ->
+          let p = { Dfg.node = id; out = 0 } in
+          let cons = consumers_of_value dfg p in
+          let internal_only =
+            cons <> [] && List.for_all (fun (c, _) -> List.mem c nodes) cons
+          in
+          if internal_only then Design.with_value_reg acc (Design.value_index dfg p) (-1)
+          else acc)
+        d' nodes
+    in
+    Design.compact d'
+  in
+  let pairs = ref [] in
+  Array.iteri
+    (fun b (node : Dfg.node) ->
+      if is_plain_add b then
+        Array.iter
+          (fun ({ Dfg.node = a; _ } : Dfg.port) ->
+            if is_plain_add a && d.Design.node_inst.(a) <> d.Design.node_inst.(b) then
+              pairs := (a, b) :: !pairs)
+          node.Dfg.ins)
+    dfg.Dfg.nodes;
+  let two =
+    match Library.chains_for lib Op.Add 2 with
+    | [] -> []
+    | chain :: _ ->
+        List.map
+          (fun (a, b) ->
+            ( Merge,
+              Printf.sprintf "chain %s+%s on %s" dfg.Dfg.nodes.(a).Dfg.label
+                dfg.Dfg.nodes.(b).Dfg.label chain.Fu.name,
+              fuse [ a; b ] chain ))
+          !pairs
+  in
+  let three =
+    match Library.chains_for lib Op.Add 3 with
+    | [] -> []
+    | chain :: _ ->
+        List.concat_map
+          (fun (a, b) ->
+            List.filter_map
+              (fun (b', c) ->
+                if b' = b && c <> a && is_plain_add c then
+                  Some
+                    ( Merge,
+                      Printf.sprintf "chain3 %s+%s+%s" dfg.Dfg.nodes.(a).Dfg.label
+                        dfg.Dfg.nodes.(b).Dfg.label dfg.Dfg.nodes.(c).Dfg.label,
+                      fuse [ a; b; c ] chain )
+                else None)
+              !pairs)
+          !pairs
+  in
+  ignore feeds;
+  two @ three
+
+(* Behaviors actually invoked on an instance. *)
+let behaviors_used (d : Design.t) i =
+  Design.nodes_on d i
+  |> List.filter_map (fun id ->
+         match d.Design.dfg.Dfg.nodes.(id).Dfg.kind with Dfg.Call b -> Some b | _ -> None)
+  |> List.sort_uniq compare
+
+(* Time-multiplex the calls of instance [j] onto instance [i] when
+   [i]'s module already implements every behavior [j] executes — the
+   sharing counterpart of simple-unit merging, and the main source of
+   area recovery on hierarchical inputs (seven butterflies on one
+   butterfly module). No embedding needed. *)
+let module_share_candidates (d : Design.t) =
+  let n = Array.length d.Design.insts in
+  let cands = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Design.inst_used d i && Design.inst_used d j then
+        match d.Design.insts.(i), d.Design.insts.(j) with
+        | Design.Module rmi, Design.Module rmj ->
+            let needed = behaviors_used d j in
+            if
+              needed <> []
+              && List.for_all (fun b -> List.mem_assoc b rmi.Design.parts) needed
+              && (i < j || rmi.Design.rm_name <> rmj.Design.rm_name)
+            then begin
+              let d' =
+                List.fold_left
+                  (fun acc node -> Design.with_binding acc node i)
+                  d (Design.nodes_on d j)
+              in
+              cands :=
+                ( Merge,
+                  Printf.sprintf "multiplex I%d(%s) onto I%d(%s)" j rmj.Design.rm_name i
+                    rmi.Design.rm_name,
+                  Design.compact d' )
+                :: !cands
+            end
+        | _ -> ()
+    done
+  done;
+  !cands
+
+(* Complex-module merging via RTL embedding. *)
+let module_merge_candidates env (d : Design.t) =
+  let n = Array.length d.Design.insts in
+  let cands = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Design.inst_used d i && Design.inst_used d j then
+        match d.Design.insts.(i), d.Design.insts.(j) with
+        | Design.Module rmi, Design.Module rmj -> (
+            match
+              Embed.merge_modules env.ctx
+                ~name:(fresh_name env (rmi.Design.rm_name ^ "+" ^ rmj.Design.rm_name))
+                rmi rmj
+            with
+            | None -> ()
+            | Some (merged, _) ->
+                let d' = Design.with_inst d i (Design.Module merged) in
+                let d' =
+                  List.fold_left
+                    (fun acc node -> Design.with_binding acc node i)
+                    d' (Design.nodes_on d' j)
+                in
+                cands :=
+                  ( Merge,
+                    Printf.sprintf "embed I%d(%s)+I%d(%s)" i rmi.Design.rm_name j
+                      rmj.Design.rm_name,
+                    Design.compact d' )
+                  :: !cands)
+        | _ -> ()
+    done
+  done;
+  !cands
+
+(* Left-edge register re-allocation: one global candidate. *)
+let left_edge_candidate env (d : Design.t) =
+  let dfg = d.Design.dfg in
+  let sch = Sched.schedule env.ctx env.cs d in
+  if not sch.Sched.feasible then []
+  else begin
+    let nv = Design.n_values dfg in
+    (* values that must keep private registers: delay state *)
+    let is_delay_value v =
+      let ({ Dfg.node; _ } : Dfg.port) = Design.value_of_index dfg v in
+      match dfg.Dfg.nodes.(node).Dfg.kind with Dfg.Delay _ -> true | _ -> false
+    in
+    let lifetime v =
+      let p = Design.value_of_index dfg v in
+      let birth = sch.Sched.avail.(v) in
+      let death =
+        List.fold_left
+          (fun acc (c, _) ->
+            let t =
+              match dfg.Dfg.nodes.(c).Dfg.kind with
+              | Dfg.Output | Dfg.Delay _ ->
+                  sch.Sched.avail.(v) (* consumed on availability *)
+              | _ -> max sch.Sched.start.(c) sch.Sched.avail.(v)
+            in
+            max acc t)
+          birth
+          (consumers_of_value dfg p)
+      in
+      (birth, death)
+    in
+    let shareable = ref [] and fixed = ref [] in
+    for v = 0 to nv - 1 do
+      if d.Design.value_reg.(v) >= 0 then
+        if is_delay_value v then fixed := v :: !fixed else shareable := v :: !shareable
+    done;
+    let sorted =
+      List.map (fun v -> (lifetime v, v)) !shareable
+      |> List.sort (fun ((b1, _), v1) ((b2, _), v2) ->
+             match compare b1 b2 with 0 -> compare v1 v2 | c -> c)
+    in
+    let value_reg = Array.make nv (-1) in
+    let next_reg = ref 0 in
+    List.iter
+      (fun v ->
+        value_reg.(v) <- !next_reg;
+        incr next_reg)
+      (List.rev !fixed);
+    let reg_free = Hsyn_util.Vec.create () in
+    (* reg_free.(k) = death time of last value in shareable register k *)
+    let assign ((birth, death), v) =
+      let n = Hsyn_util.Vec.length reg_free in
+      let rec find k =
+        if k >= n then begin
+          ignore (Hsyn_util.Vec.push reg_free death);
+          value_reg.(v) <- !next_reg + k
+        end
+        else if Hsyn_util.Vec.get reg_free k <= birth then begin
+          Hsyn_util.Vec.set reg_free k death;
+          value_reg.(v) <- !next_reg + k
+        end
+        else find (k + 1)
+      in
+      find 0
+    in
+    List.iter assign sorted;
+    let n_regs = !next_reg + Hsyn_util.Vec.length reg_free in
+    let d' = { d with Design.value_reg; n_regs } in
+    [ (Merge, "left-edge register re-allocation", d') ]
+  end
+
+let merge_candidates env d =
+  (* the left-edge register move first: single cheap candidate that
+     must never fall to truncation *)
+  left_edge_candidate env d @ merge_simple_candidates d @ chain_candidates env d
+  @ module_share_candidates d
+  @ (if env.allow_embed then module_merge_candidates env d else [])
+
+(* ------------------------------------------------------------------ *)
+(* Move family D: splitting *)
+
+let split_candidates env (d : Design.t) =
+  let sch = lazy (Sched.schedule env.ctx env.cs d) in
+  List.concat
+    (List.init (Array.length d.Design.insts) (fun i ->
+         let nodes = Design.nodes_on d i in
+         if List.length nodes < 2 then []
+         else
+           match d.Design.insts.(i) with
+           | Design.Simple fu when not (Fu.is_chain fu) ->
+               let sch = Lazy.force sch in
+               let ordered =
+                 List.sort (fun a b -> compare sch.Sched.start.(a) sch.Sched.start.(b)) nodes
+               in
+               let odd = List.filteri (fun k _ -> k mod 2 = 1) ordered in
+               let d', inst = Design.add_inst d (Design.Simple fu) in
+               let d' = List.fold_left (fun acc n -> Design.with_binding acc n inst) d' odd in
+               [ (Split, Printf.sprintf "split I%d (%s)" i fu.Fu.name, d') ]
+           | Design.Simple _ -> []
+           | Design.Module rm ->
+               let sch = Lazy.force sch in
+               let ordered =
+                 List.sort (fun a b -> compare sch.Sched.start.(a) sch.Sched.start.(b)) nodes
+               in
+               let odd = List.filteri (fun k _ -> k mod 2 = 1) ordered in
+               let d', inst = Design.add_inst d (Design.Module rm) in
+               let d' = List.fold_left (fun acc n -> Design.with_binding acc n inst) d' odd in
+               [ (Split, Printf.sprintf "split I%d (%s)" i rm.Design.rm_name, d') ]))
+
+(* ------------------------------------------------------------------ *)
+
+let best_select_or_resynth env cur_value d =
+  best_of env cur_value (select_candidates env d @ resynth_candidates env d)
+
+let best_merge env cur_value d = best_of env cur_value (merge_candidates env d)
+let best_split env cur_value d =
+  if env.allow_split then best_of env cur_value (split_candidates env d) else None

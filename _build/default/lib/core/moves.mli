@@ -1,0 +1,63 @@
+(** The move families of the iterative-improvement engine.
+
+    - {b A — module selection}: replace a simple unit instance by a
+      compatible library alternative, or a complex module instance by
+      a different library implementation of its behavior (possibly a
+      different, functionally equivalent DFG variant).
+    - {b B — resynthesis}: derive the environment of a complex module
+      instance (operand arrival times from the current schedule,
+      output deadlines from ALAP slack), and re-synthesize its behavior
+      under those relaxed constraints.
+    - {b C — merging}: map two simple instances onto one (resource
+      sharing), fuse dependent additions onto a chained adder, merge
+      two complex modules via RTL embedding, or globally re-allocate
+      registers by lifetime (left-edge).
+    - {b D — splitting}: split a multiplexed instance (simple or
+      complex) into two, opening power-optimization freedom.
+
+    Every candidate is validated by rescheduling, and its gain is the
+    decrease of the objective (negative gains are legal — the
+    variable-depth pass may accept them). *)
+
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Registry = Hsyn_dfg.Registry
+
+type kind = Select | Resynthesize | Merge | Split
+
+val kind_name : kind -> string
+
+type t = {
+  kind : kind;
+  description : string;
+  candidate : Design.t;
+  eval : Cost.eval;
+  gain : float;  (** objective(current) − objective(candidate) *)
+}
+
+type env = {
+  ctx : Design.ctx;
+  cs : Sched.constraints;
+  sampling_ns : float;
+  trace : int array list;
+  objective : Cost.objective;
+  registry : Registry.t;
+  complexes : string -> Design.rtl_module list;
+  resynth :
+    (Design.ctx -> Sched.constraints -> Cost.objective -> Design.t -> Design.t) option;
+      (** bounded inner optimizer used by move B; [None] disables B *)
+  max_candidates : int;  (** cap on evaluated candidates per family *)
+  allow_embed : bool;  (** enable complex-module merging via RTL embedding *)
+  allow_split : bool;  (** enable move family D *)
+  mutable fresh_names : int;  (** counter for generated module names *)
+}
+
+val best_select_or_resynth : env -> float -> Design.t -> t option
+(** Best move from A ∪ B against the given current objective value
+    (statement 7 of Figure 4). *)
+
+val best_merge : env -> float -> Design.t -> t option
+(** Best resource-sharing move (statement 8). *)
+
+val best_split : env -> float -> Design.t -> t option
+(** Best resource-splitting move (statement 10). *)

@@ -1,0 +1,82 @@
+module Design = Hsyn_rtl.Design
+
+type stats = {
+  passes : int;
+  moves_committed : int;
+  moves_tried : int;
+  log : string list;
+}
+
+let improve (env : Moves.env) ~max_moves ~max_passes d0 =
+  let value d =
+    Cost.objective_value env.Moves.objective
+      (Cost.evaluate
+         ~with_power:(env.Moves.objective = Cost.Power)
+         env.Moves.ctx env.Moves.cs ~sampling_ns:env.Moves.sampling_ns ~trace:env.Moves.trace d)
+  in
+  let stats = ref { passes = 0; moves_committed = 0; moves_tried = 0; log = [] } in
+  if value d0 = infinity then (d0, !stats)
+  else begin
+    let current = ref d0 in
+    let continue_ = ref true in
+    while !continue_ && !stats.passes < max_passes do
+      stats := { !stats with passes = !stats.passes + 1 };
+      let cur = ref !current in
+      let cur_val = ref (value !cur) in
+      (* tentative sequence: (cumulative gain, design, description) *)
+      let cum = ref 0. in
+      let best_prefix_gain = ref 0. in
+      let best_prefix = ref !current in
+      let best_prefix_log = ref [] in
+      let seq_log = ref [] in
+      let steps = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !steps < max_moves do
+        incr steps;
+        let m1 = Moves.best_select_or_resynth env !cur_val !cur in
+        let m3 =
+          match Moves.best_merge env !cur_val !cur with
+          | Some m when m.Moves.gain >= 0. -> Some m
+          | weak -> (
+              (* sharing only hurts: consider splitting instead
+                 (statements 9–10) *)
+              match Moves.best_split env !cur_val !cur with
+              | Some s -> (
+                  match weak with
+                  | Some m when m.Moves.gain >= s.Moves.gain -> Some m
+                  | _ -> Some s)
+              | None -> weak)
+        in
+        let chosen =
+          match m1, m3 with
+          | None, None -> None
+          | Some m, None | None, Some m -> Some m
+          | Some a, Some b -> if a.Moves.gain >= b.Moves.gain then Some a else Some b
+        in
+        stats := { !stats with moves_tried = !stats.moves_tried + 1 };
+        match chosen with
+        | None -> stop := true
+        | Some m ->
+            cur := m.Moves.candidate;
+            cur_val := Cost.objective_value env.Moves.objective m.Moves.eval;
+            cum := !cum +. m.Moves.gain;
+            seq_log := Printf.sprintf "[%s] %s (gain %.3f)" (Moves.kind_name m.Moves.kind) m.Moves.description m.Moves.gain :: !seq_log;
+            if !cum > !best_prefix_gain then begin
+              best_prefix_gain := !cum;
+              best_prefix := !cur;
+              best_prefix_log := !seq_log
+            end
+      done;
+      if !best_prefix_gain > 1e-9 then begin
+        current := !best_prefix;
+        stats :=
+          {
+            !stats with
+            moves_committed = !stats.moves_committed + List.length !best_prefix_log;
+            log = !stats.log @ List.rev !best_prefix_log;
+          }
+      end
+      else continue_ := false
+    done;
+    (!current, !stats)
+  end

@@ -1,0 +1,25 @@
+(** Variable-depth iterative improvement (Figure 4, statements 3–16).
+
+    Each pass applies a bounded sequence of tentative moves — the best
+    available A/B move or the best sharing move per step, falling back
+    to splitting when sharing has negative gain — allowing individual
+    moves to worsen the design. At the end of the pass the prefix with
+    the best cumulative gain is committed if it is positive; otherwise
+    the pass (and the improvement loop) terminates. This is the
+    mechanism that lets the optimizer escape local minima. *)
+
+module Design = Hsyn_rtl.Design
+
+type stats = {
+  passes : int;
+  moves_committed : int;
+  moves_tried : int;
+  log : string list;  (** committed move descriptions, oldest first *)
+}
+
+val improve :
+  Moves.env -> max_moves:int -> max_passes:int -> Design.t -> Design.t * stats
+(** Refine a design until no pass yields positive cumulative gain (or
+    the pass budget runs out). The result is always feasible if the
+    input is; if the input is infeasible the input is returned
+    unchanged. *)

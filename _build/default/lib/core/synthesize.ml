@@ -1,0 +1,227 @@
+module Design = Hsyn_rtl.Design
+module Dfg = Hsyn_dfg.Dfg
+module Registry = Hsyn_dfg.Registry
+module Library = Hsyn_modlib.Library
+module Voltage = Hsyn_modlib.Voltage
+module Clock = Hsyn_modlib.Clock
+module Sched = Hsyn_sched.Sched
+module Flatten = Hsyn_dfg.Flatten
+module Trace = Hsyn_eval.Trace
+module Rng = Hsyn_util.Rng
+
+type config = {
+  max_moves : int;
+  max_passes : int;
+  max_candidates : int;
+  trace_length : int;
+  trace_kind : Trace.kind;
+  seed : int;
+  vdd_candidates : float list;
+  clk_candidates : float list option;
+  max_clocks : int;
+  enable_resynth : bool;
+  enable_embed : bool;
+  enable_split : bool;
+  clib_effort : Clib.effort;
+}
+
+let default_config =
+  {
+    max_moves = 10;
+    max_passes = 4;
+    max_candidates = 60;
+    trace_length = 16;
+    trace_kind = Trace.default_kind;
+    seed = 42;
+    vdd_candidates = Voltage.candidates;
+    clk_candidates = None;
+    max_clocks = 3;
+    enable_resynth = true;
+    enable_embed = true;
+    enable_split = true;
+    clib_effort = Clib.default_effort;
+  }
+
+type result = {
+  design : Design.t;
+  ctx : Design.ctx;
+  eval : Cost.eval;
+  objective : Cost.objective;
+  sampling_ns : float;
+  deadline_cycles : int;
+  elapsed_s : float;
+  contexts_tried : int;
+  stats : Pass.stats;
+  clib : Clib.t;
+}
+
+let min_sampling_ns lib registry dfg =
+  let flat = if Dfg.n_calls dfg = 0 then dfg else Flatten.flatten registry dfg in
+  Sched.critical_path_ns lib flat
+
+(* A bounded re-synthesis closure for move B: improve the module part
+   under the derived environment constraints, without nesting another
+   level of B moves. *)
+let make_resynth config registry complexes seed =
+  let counter = ref 0 in
+  fun ctx cs objective (part : Design.t) ->
+    incr counter;
+    let rng = Rng.create (seed + !counter) in
+    let trace =
+      Trace.generate rng config.trace_kind
+        ~n_inputs:(Array.length part.Design.dfg.Dfg.inputs)
+        ~length:config.trace_length
+    in
+    let sampling_ns = Float.of_int cs.Sched.deadline *. ctx.Design.clk_ns in
+    let env =
+      {
+        Moves.ctx;
+        cs;
+        sampling_ns;
+        trace;
+        objective;
+        registry;
+        complexes;
+        resynth = None;
+        max_candidates = config.clib_effort.Clib.max_candidates;
+        allow_embed = config.enable_embed;
+        allow_split = config.enable_split;
+        fresh_names = 0;
+      }
+    in
+    let improved, _ =
+      Pass.improve env ~max_moves:config.clib_effort.Clib.max_moves
+        ~max_passes:config.clib_effort.Clib.max_passes part
+    in
+    improved
+
+let run ?(config = default_config) ~lib registry (dfg : Dfg.t) objective ~sampling_ns =
+  let start_time = Unix.gettimeofday () in
+  let min_ns = min_sampling_ns lib registry dfg in
+  let vdds = match objective with Cost.Area -> [ Voltage.nominal ] | Cost.Power -> config.vdd_candidates in
+  let best = ref None in
+  let contexts = ref 0 in
+  List.iter
+    (fun vdd ->
+      (* prune: even the fastest design misses the sampling period *)
+      if min_ns *. Voltage.delay_factor vdd <= sampling_ns then begin
+        let clks =
+          match config.clk_candidates with
+          | Some l -> l
+          | None -> Clock.candidates lib vdd
+        in
+        List.iter
+          (fun clk_ns ->
+            let deadline = int_of_float (Float.floor (sampling_ns /. clk_ns +. 1e-9)) in
+            if deadline >= 1 then begin
+              incr contexts;
+              let ctx = { Design.lib; vdd; clk_ns } in
+              let rng = Rng.create config.seed in
+              let trace =
+                Trace.generate rng config.trace_kind
+                  ~n_inputs:(Array.length dfg.Dfg.inputs)
+                  ~length:config.trace_length
+              in
+              let clib =
+                Clib.build ctx registry ~rng:(Rng.split rng) ~trace_length:config.trace_length
+                  ~effort:config.clib_effort ~top:dfg
+              in
+              let complexes = Clib.lookup clib in
+              let cs = Sched.relaxed ~deadline dfg in
+              let resynth =
+                if config.enable_resynth then Some (make_resynth config registry complexes config.seed)
+                else None
+              in
+              let env =
+                {
+                  Moves.ctx;
+                  cs;
+                  sampling_ns;
+                  trace;
+                  objective;
+                  registry;
+                  complexes;
+                  resynth;
+                  max_candidates = config.max_candidates;
+                  allow_embed = config.enable_embed;
+                  allow_split = config.enable_split;
+                  fresh_names = 0;
+                }
+              in
+              let initial = Initial.build ctx ~complexes registry dfg in
+              (* larger designs need longer move sequences per pass *)
+              let max_moves =
+                max config.max_moves (min 40 (Array.length initial.Design.insts))
+              in
+              let improved, stats =
+                Pass.improve env ~max_moves ~max_passes:config.max_passes initial
+              in
+              let eval = Cost.evaluate ~with_power:true ctx cs ~sampling_ns ~trace improved in
+              if eval.Cost.feasible then begin
+                let value = Cost.objective_value objective eval in
+                match !best with
+                | Some (v, _) when v <= value -> ()
+                | _ ->
+                    best :=
+                      Some
+                        ( value,
+                          {
+                            design = improved;
+                            ctx;
+                            eval;
+                            objective;
+                            sampling_ns;
+                            deadline_cycles = deadline;
+                            elapsed_s = 0.;
+                            contexts_tried = 0;
+                            stats;
+                            clib;
+                          } )
+              end
+            end)
+          (Clock.spread config.max_clocks clks)
+      end)
+    vdds;
+  match !best with
+  | None ->
+      failwith
+        (Printf.sprintf "Synthesize.run: no feasible design for %s at sampling %.1f ns" dfg.Dfg.name
+           sampling_ns)
+  | Some (_, r) ->
+      { r with elapsed_s = Unix.gettimeofday () -. start_time; contexts_tried = !contexts }
+
+let run_flat ?(config = default_config) ~lib registry dfg objective ~sampling_ns =
+  let flat = if Dfg.n_calls dfg = 0 then dfg else Flatten.flatten registry dfg in
+  run ~config ~lib registry flat objective ~sampling_ns
+
+let rescale_vdd ?(config = default_config) (r : result) vdds =
+  let rng = Rng.create config.seed in
+  let trace =
+    Trace.generate rng config.trace_kind
+      ~n_inputs:(Array.length r.design.Design.dfg.Dfg.inputs)
+      ~length:config.trace_length
+  in
+  let candidates =
+    List.filter (fun v -> v <= r.ctx.Design.vdd +. 1e-9) vdds |> List.sort compare
+  in
+  let best = ref r in
+  (* the architecture is frozen; the clock may be re-picked so that a
+     design that exactly filled its cycle budget can still slow down *)
+  List.iter
+    (fun vdd ->
+      let clks = r.ctx.Design.clk_ns :: Clock.candidates r.ctx.Design.lib vdd in
+      List.iter
+        (fun clk_ns ->
+          let deadline = int_of_float (Float.floor (r.sampling_ns /. clk_ns +. 1e-9)) in
+          if deadline >= 1 then begin
+            let ctx = { r.ctx with Design.vdd; clk_ns } in
+            let cs = Sched.relaxed ~deadline r.design.Design.dfg in
+            let eval =
+              Cost.evaluate ~with_power:true ctx cs ~sampling_ns:r.sampling_ns ~trace r.design
+            in
+            if eval.Cost.feasible && eval.Cost.power < !best.eval.Cost.power then
+              best := { r with ctx; eval; deadline_cycles = deadline }
+          end)
+        (Clock.spread config.max_clocks clks))
+    candidates;
+  !best

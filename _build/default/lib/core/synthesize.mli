@@ -1,0 +1,81 @@
+(** SYNTHESIZE — the top level of H-SYN (Figure 4).
+
+    Iterates over the pruned supply-voltage and clock-period sets; for
+    each context it builds the complex-module library, constructs the
+    initial solution, runs variable-depth iterative improvement, and
+    keeps the best feasible design under the requested objective.
+    Area optimization runs at 5 V (the paper's area-optimized circuits
+    are synthesized at 5 V and voltage-scaled afterwards); power
+    optimization explores the full V{_dd} set. *)
+
+module Design = Hsyn_rtl.Design
+module Dfg = Hsyn_dfg.Dfg
+module Registry = Hsyn_dfg.Registry
+module Library = Hsyn_modlib.Library
+
+type config = {
+  max_moves : int;  (** tentative moves per improvement pass *)
+  max_passes : int;  (** improvement passes per context *)
+  max_candidates : int;  (** candidate cap per move family *)
+  trace_length : int;  (** samples in the power-estimation trace *)
+  trace_kind : Hsyn_eval.Trace.kind;
+  seed : int;  (** RNG seed (traces, nothing else is random) *)
+  vdd_candidates : float list;
+  clk_candidates : float list option;  (** [None]: derive from the library *)
+  max_clocks : int;  (** clock periods tried per voltage *)
+  enable_resynth : bool;  (** allow move B *)
+  enable_embed : bool;  (** allow complex-module merging via RTL embedding *)
+  enable_split : bool;  (** allow move family D *)
+  clib_effort : Clib.effort;
+}
+
+val default_config : config
+
+type result = {
+  design : Design.t;
+  ctx : Design.ctx;
+  eval : Cost.eval;  (** with power computed, whatever the objective *)
+  objective : Cost.objective;
+  sampling_ns : float;
+  deadline_cycles : int;
+  elapsed_s : float;  (** wall-clock synthesis time *)
+  contexts_tried : int;  (** (V_dd, clock) points actually explored *)
+  stats : Pass.stats;  (** improvement statistics of the winning context *)
+  clib : Clib.t;  (** complex library of the winning context *)
+}
+
+val min_sampling_ns : Library.t -> Registry.t -> Dfg.t -> float
+(** Minimum sampling period of the behavior with this library (the
+    laxity-factor denominator): dependence-bound critical path of the
+    flattened DFG at 5 V with the fastest units. *)
+
+val run :
+  ?config:config ->
+  lib:Library.t ->
+  Registry.t ->
+  Dfg.t ->
+  Cost.objective ->
+  sampling_ns:float ->
+  result
+(** Hierarchical synthesis of the behavior under a sampling-period
+    constraint.
+    @raise Failure if no context yields a feasible design. *)
+
+val run_flat :
+  ?config:config ->
+  lib:Library.t ->
+  Registry.t ->
+  Dfg.t ->
+  Cost.objective ->
+  sampling_ns:float ->
+  result
+(** The flattened baseline ([10]): flatten the hierarchy, then run the
+    same engine (moves B and the complex-module machinery never
+    trigger on a flat graph). *)
+
+val rescale_vdd :
+  ?config:config -> result -> Hsyn_modlib.Voltage.t list -> result
+(** Voltage-scale a finished design: keep the architecture, try lower
+    supply voltages (rescheduling at each), and return the lowest-power
+    feasible point — the paper's "area-optimized circuits …
+    subsequently voltage-scaled for low power operation". *)

@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Format Fun Hashtbl Hsyn_util List Op Printf Queue

@@ -1,0 +1,1 @@
+lib/dfg/flatten.ml: Array Dfg Hashtbl List Registry

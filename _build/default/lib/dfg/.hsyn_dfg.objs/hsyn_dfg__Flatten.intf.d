@@ -1,0 +1,1 @@
+lib/dfg/flatten.mli: Dfg Registry

@@ -1,0 +1,1 @@
+lib/dfg/op.ml: Format Hsyn_util List

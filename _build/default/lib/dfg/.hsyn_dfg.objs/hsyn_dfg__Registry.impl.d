@@ -1,0 +1,1 @@
+lib/dfg/registry.ml: Array Dfg Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/dfg/registry.mli: Dfg

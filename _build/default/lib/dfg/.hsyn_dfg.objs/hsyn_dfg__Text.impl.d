@@ -1,0 +1,1 @@
+lib/dfg/text.ml: Array Buffer Dfg Format Hashtbl List Op Printf Registry String

@@ -1,0 +1,94 @@
+module B = Dfg.Builder
+
+(* Inline [g]'s body into builder [b]. [prefix] keeps labels unique;
+   [input_ports] supplies the values feeding g's primary inputs.
+   Returns the ports corresponding to g's primary outputs.
+
+   Delays need care: a delay's consumer may precede the delay's own
+   source in any valid construction order (that is the point of a
+   recurrence), so delays are created first via [delay_feed] and their
+   inputs patched once every producer exists. *)
+let rec inline ~choose b prefix (g : Dfg.t) (input_ports : Dfg.port array) =
+  let n = Array.length g.nodes in
+  let mapped : Dfg.port option array = Array.make n None in
+  let feeds : (int * (Dfg.port -> unit)) list ref = ref [] in
+  let label_of (node : Dfg.node) = prefix ^ node.label in
+  Array.iteri
+    (fun id (node : Dfg.node) ->
+      match node.kind with
+      | Dfg.Delay init ->
+          let port, feed = B.delay_feed b ~label:(label_of node) ~init () in
+          mapped.(id) <- Some port;
+          feeds := (id, feed) :: !feeds
+      | _ -> ())
+    g.nodes;
+  let out_ports : Dfg.port array = Array.make (Array.length g.outputs) { Dfg.node = 0; out = 0 } in
+  (* Call nodes have several outputs, so their mapping is kept per
+     (node, out) in a side table; simple nodes use [mapped]. *)
+  let call_outs : (int, Dfg.port array) Hashtbl.t = Hashtbl.create 4 in
+  let resolve ({ Dfg.node = src; out } : Dfg.port) =
+    match Hashtbl.find_opt call_outs src with
+    | Some ports -> ports.(out)
+    | None -> (
+        match mapped.(src) with
+        | Some p ->
+            assert (out = 0);
+            p
+        | None -> assert false)
+  in
+  let order = Dfg.topo_order g in
+  Array.iter
+    (fun id ->
+      let node = g.nodes.(id) in
+      match node.kind with
+      | Dfg.Input ->
+          let position =
+            match Array.to_list g.inputs |> List.mapi (fun i x -> (i, x)) |> List.find_opt (fun (_, x) -> x = id) with
+            | Some (i, _) -> i
+            | None -> assert false
+          in
+          mapped.(id) <- Some input_ports.(position)
+      | Dfg.Const v -> mapped.(id) <- Some (B.const b ~label:(label_of node) v)
+      | Dfg.Op op ->
+          let args = Array.to_list node.ins |> List.map resolve in
+          mapped.(id) <- Some (B.op b ~label:(label_of node) op args)
+      | Dfg.Delay _ -> () (* created up front *)
+      | Dfg.Call behavior ->
+          let body = choose behavior in
+          let args = Array.map resolve node.ins in
+          let outs = inline ~choose b (prefix ^ node.label ^ "/") body args in
+          Hashtbl.add call_outs id outs
+      | Dfg.Output ->
+          let position =
+            match Array.to_list g.outputs |> List.mapi (fun i x -> (i, x)) |> List.find_opt (fun (_, x) -> x = id) with
+            | Some (i, _) -> i
+            | None -> assert false
+          in
+          out_ports.(position) <- resolve node.ins.(0))
+    order;
+  List.iter (fun (id, feed) -> feed (resolve g.nodes.(id).ins.(0))) !feeds;
+  out_ports
+
+let flatten ?choose registry (dfg : Dfg.t) =
+  let choose =
+    match choose with Some f -> f | None -> fun behavior -> Registry.default_variant registry behavior
+  in
+  let b = B.create (dfg.name ^ ".flat") in
+  let inputs = Array.map (fun id -> B.input b dfg.nodes.(id).Dfg.label) dfg.inputs in
+  let outs = inline ~choose b "" dfg inputs in
+  Array.iteri (fun i p -> B.output b ~label:dfg.nodes.(dfg.outputs.(i)).Dfg.label p) outs;
+  B.finish b
+
+let is_flat (dfg : Dfg.t) = Dfg.n_calls dfg = 0
+
+let total_operations registry dfg =
+  let rec count (g : Dfg.t) =
+    Array.fold_left
+      (fun acc (node : Dfg.node) ->
+        match node.kind with
+        | Dfg.Op _ -> acc + 1
+        | Dfg.Call behavior -> acc + count (Registry.default_variant registry behavior)
+        | Dfg.Input | Dfg.Output | Dfg.Const _ | Dfg.Delay _ -> acc)
+      0 g.nodes
+  in
+  count dfg

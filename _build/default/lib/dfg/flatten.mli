@@ -1,0 +1,23 @@
+(** Hierarchy elimination.
+
+    Flattening recursively inlines every [Call] node, replacing it with
+    a copy of a chosen variant of the called behavior, until only
+    simple nodes remain. This produces the input consumed by the
+    flattened baseline synthesizer ([10]) and by the behavioral
+    simulator's reference path. Inlined node labels are prefixed with
+    the call path ([caller_label/inner_label]) to stay unique. *)
+
+val flatten : ?choose:(string -> Dfg.t) -> Registry.t -> Dfg.t -> Dfg.t
+(** [flatten registry dfg] inlines all calls. [choose] selects the
+    variant implementing each behavior (default:
+    {!Registry.default_variant}). The result has the same primary
+    interface, contains no [Call] nodes, and is named
+    ["<name>.flat"].
+    @raise Not_found if a call references an unregistered behavior. *)
+
+val is_flat : Dfg.t -> bool
+(** Whether the graph contains no [Call] nodes. *)
+
+val total_operations : Registry.t -> Dfg.t -> int
+(** Number of simple operations after (virtual) flattening with
+    default variants, without building the flattened graph. *)

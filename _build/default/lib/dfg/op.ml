@@ -1,0 +1,46 @@
+type t = Add | Sub | Mult | Lsh | Rsh | Neg | Abs | Min | Max | Lt
+
+let arity = function
+  | Neg | Abs -> 1
+  | Add | Sub | Mult | Lsh | Rsh | Min | Max | Lt -> 2
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mult -> "mult"
+  | Lsh -> "lsh"
+  | Rsh -> "rsh"
+  | Neg -> "neg"
+  | Abs -> "abs"
+  | Min -> "min"
+  | Max -> "max"
+  | Lt -> "lt"
+
+let all = [ Add; Sub; Mult; Lsh; Rsh; Neg; Abs; Min; Max; Lt ]
+
+let of_name s = List.find_opt (fun op -> name op = s) all
+
+let signed = Hsyn_util.Bits.to_signed
+let wrap = Hsyn_util.Bits.truncate
+
+let eval op args =
+  let bad () = invalid_arg ("Op.eval: arity mismatch for " ^ name op) in
+  match op, args with
+  | Add, [ a; b ] -> wrap (signed a + signed b)
+  | Sub, [ a; b ] -> wrap (signed a - signed b)
+  | Mult, [ a; b ] -> wrap (signed a * signed b)
+  | Lsh, [ a; b ] -> wrap (signed a lsl (wrap b land 0xF))
+  | Rsh, [ a; b ] -> wrap (signed a asr (wrap b land 0xF))
+  | Neg, [ a ] -> wrap (-signed a)
+  | Abs, [ a ] -> wrap (abs (signed a))
+  | Min, [ a; b ] -> wrap (min (signed a) (signed b))
+  | Max, [ a; b ] -> wrap (max (signed a) (signed b))
+  | Lt, [ a; b ] -> if signed a < signed b then 1 else 0
+  | (Add | Sub | Mult | Lsh | Rsh | Min | Max | Lt), _ -> bad ()
+  | (Neg | Abs), _ -> bad ()
+
+let commutative = function
+  | Add | Mult | Min | Max -> true
+  | Sub | Lsh | Rsh | Neg | Abs | Lt -> false
+
+let pp fmt op = Format.pp_print_string fmt (name op)

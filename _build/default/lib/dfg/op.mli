@@ -1,0 +1,42 @@
+(** The operation alphabet of behavioral descriptions.
+
+    The paper targets data-dominated DSP/image behaviors, so the
+    alphabet is arithmetic: adds, subtracts, multiplies, shifts,
+    comparisons. Each operation has a fixed arity and a reference
+    evaluation semantics on fixed-width words (used by the behavioral
+    simulator that drives power estimation). *)
+
+type t =
+  | Add
+  | Sub
+  | Mult
+  | Lsh  (** left shift by a constant-like second operand *)
+  | Rsh  (** arithmetic right shift *)
+  | Neg  (** unary two's-complement negation *)
+  | Abs  (** unary absolute value *)
+  | Min
+  | Max
+  | Lt   (** signed less-than, producing 0/1 *)
+
+val arity : t -> int
+(** Number of input operands (1 or 2). *)
+
+val name : t -> string
+(** Lower-case mnemonic, also used by the textual DFG format. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}. *)
+
+val all : t list
+(** Every operation, in declaration order. *)
+
+val eval : t -> int list -> int
+(** Reference semantics on [Bits.word_width]-bit two's-complement
+    words. The operand list length must equal [arity].
+    @raise Invalid_argument on arity mismatch. *)
+
+val commutative : t -> bool
+(** Whether swapping the two operands preserves the result (used by
+    binding to canonicalize operand order). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = {
+  table : (string, Dfg.t list ref) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let create () = { table = Hashtbl.create 16; order = [] }
+
+let interface_of (dfg : Dfg.t) = (Array.length dfg.inputs, Array.length dfg.outputs)
+
+let register t behavior dfg =
+  match Hashtbl.find_opt t.table behavior with
+  | None ->
+      Hashtbl.add t.table behavior (ref [ dfg ]);
+      t.order <- behavior :: t.order
+  | Some cell ->
+      let existing = List.hd !cell in
+      if interface_of existing <> interface_of dfg then
+        invalid_arg
+          (Printf.sprintf "Registry.register: variant %s of %s has mismatched interface" dfg.name behavior);
+      if List.exists (fun (v : Dfg.t) -> v.name = dfg.name) !cell then
+        invalid_arg
+          (Printf.sprintf "Registry.register: duplicate variant name %s for %s" dfg.name behavior);
+      cell := !cell @ [ dfg ]
+
+let variants t behavior = !(Hashtbl.find t.table behavior)
+
+let variant t behavior name =
+  match List.find_opt (fun (v : Dfg.t) -> v.name = name) (variants t behavior) with
+  | Some v -> v
+  | None -> raise Not_found
+
+let default_variant t behavior = List.hd (variants t behavior)
+let interface t behavior = interface_of (default_variant t behavior)
+let mem t behavior = Hashtbl.mem t.table behavior
+let behaviors t = List.rev t.order
+
+let check_calls t dfg =
+  let rec check_graph visiting (g : Dfg.t) =
+    let check_node (node : Dfg.node) =
+      match node.kind with
+      | Dfg.Call behavior ->
+          if List.mem behavior visiting then
+            Error (Printf.sprintf "recursive call cycle through behavior %s" behavior)
+          else if not (mem t behavior) then
+            Error (Printf.sprintf "%s calls unregistered behavior %s" g.name behavior)
+          else begin
+            let n_in, n_out = interface t behavior in
+            if Array.length node.ins <> n_in then
+              Error (Printf.sprintf "%s: call %s expects %d inputs" g.name node.label n_in)
+            else if node.n_out <> n_out then
+              Error (Printf.sprintf "%s: call %s expects %d outputs" g.name node.label n_out)
+            else
+              List.fold_left
+                (fun acc v -> match acc with Error _ -> acc | Ok () -> check_graph (behavior :: visiting) v)
+                (Ok ()) (variants t behavior)
+          end
+      | Dfg.Input | Dfg.Output | Dfg.Const _ | Dfg.Delay _ | Dfg.Op _ -> Ok ()
+    in
+    Array.fold_left
+      (fun acc node -> match acc with Error _ -> acc | Ok () -> check_node node)
+      (Ok ()) g.nodes
+  in
+  check_graph [] dfg

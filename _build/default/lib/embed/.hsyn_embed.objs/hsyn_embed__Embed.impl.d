@@ -1,0 +1,1 @@
+lib/embed/embed.ml: Array Float Format Fun Hsyn_modlib Hsyn_rtl List Printf

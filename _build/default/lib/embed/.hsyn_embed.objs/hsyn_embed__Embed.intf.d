@@ -1,0 +1,1 @@
+lib/embed/embed.mli: Format Hsyn_rtl

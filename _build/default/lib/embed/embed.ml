@@ -1,0 +1,117 @@
+module Design = Hsyn_rtl.Design
+module Fu = Hsyn_modlib.Fu
+
+type correspondence = {
+  left_inst : int array;
+  right_inst : int array;
+  left_reg : int array;
+  right_reg : int array;
+}
+
+let merged_behaviors (a : Design.rtl_module) (b : Design.rtl_module) =
+  let ba = Design.module_behaviors a and bb = Design.module_behaviors b in
+  if List.exists (fun x -> List.mem x ba) bb then None else Some (ba @ bb)
+
+(* Cost of hosting right-side component [rk] on left-side component
+   [lk]; returns the merged component kind and a score (lower is
+   better), or None if incompatible. *)
+let host_cost (lk : Design.inst_kind) (rk : Design.inst_kind) =
+  match lk, rk with
+  | Design.Simple lf, Design.Simple rf ->
+      if lf.Fu.name = rf.Fu.name then Some (lk, 0.)
+      else if Fu.compatible lf rf then Some (lk, 1.) (* left hosts right as-is *)
+      else if Fu.compatible rf lf then Some (rk, 2. +. Float.max 0. (rf.Fu.area -. lf.Fu.area))
+      else None
+  | Design.Module lm, Design.Module rm -> if lm.Design.rm_name = rm.Design.rm_name then Some (lk, 0.) else None
+  | Design.Simple _, Design.Module _ | Design.Module _, Design.Simple _ -> None
+
+let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_module) =
+  match merged_behaviors left right with
+  | None -> None
+  | Some _ ->
+      let left_parts = List.map snd left.Design.parts in
+      let right_parts = List.map snd right.Design.parts in
+      let left_insts = (List.hd left_parts).Design.insts in
+      let right_insts = (List.hd right_parts).Design.insts in
+      let nl = Array.length left_insts and nr = Array.length right_insts in
+      let merged = Array.make nl (Design.Simple { Fu.name = ""; kind = Fu.Unit []; area = 0.; delay_ns = 0.; energy_cap = 0.; pipelined = false }) in
+      Array.blit left_insts 0 merged 0 nl;
+      let merged = ref (Array.to_list merged) in
+      let left_inst = Array.init nl Fun.id in
+      let right_inst = Array.make nr (-1) in
+      let taken = Array.make nl false in
+      (* match big right components first: reusing a multiplier matters
+         more than reusing an adder *)
+      let order =
+        List.init nr Fun.id
+        |> List.sort (fun a b ->
+               let area k =
+                 match k with
+                 | Design.Simple fu -> fu.Fu.area
+                 | Design.Module _ -> 1e9 (* modules first *)
+               in
+               compare (area right_insts.(b)) (area right_insts.(a)))
+      in
+      List.iter
+        (fun r ->
+          let best = ref None in
+          for l = 0 to nl - 1 do
+            if not taken.(l) then
+              match host_cost (List.nth !merged l) right_insts.(r) with
+              | Some (kind, cost) -> (
+                  match !best with
+                  | Some (_, _, c) when c <= cost -> ()
+                  | _ -> best := Some (l, kind, cost))
+              | None -> ()
+          done;
+          match !best with
+          | Some (l, kind, _) ->
+              taken.(l) <- true;
+              right_inst.(r) <- l;
+              merged := List.mapi (fun i k -> if i = l then kind else k) !merged
+          | None ->
+              merged := !merged @ [ right_insts.(r) ];
+              right_inst.(r) <- List.length !merged - 1)
+        order;
+      let merged_insts = Array.of_list !merged in
+      let rl = (List.hd left_parts).Design.n_regs in
+      let rr = (List.hd right_parts).Design.n_regs in
+      let n_regs = max rl rr in
+      let left_reg = Array.init rl Fun.id in
+      let right_reg = Array.init rr Fun.id in
+      let remap_part inst_map (part : Design.t) =
+        {
+          part with
+          Design.insts = merged_insts;
+          node_inst = Array.map (fun i -> if i < 0 then -1 else inst_map.(i)) part.Design.node_inst;
+          n_regs;
+        }
+      in
+      let parts =
+        List.map (fun (b, p) -> (b, remap_part left_inst p)) left.Design.parts
+        @ List.map (fun (b, p) -> (b, remap_part right_inst p)) right.Design.parts
+      in
+      let rm = { Design.rm_name = name; parts } in
+      Some (rm, { left_inst; right_inst; left_reg; right_reg })
+
+let pp_correspondence fmt ((left : Design.rtl_module), (right : Design.rtl_module), (m : Design.rtl_module), corr) =
+  let merged_insts = (snd (List.hd m.Design.parts)).Design.insts in
+  let find map i =
+    let found = ref None in
+    Array.iteri (fun orig dst -> if dst = i then found := Some orig) map;
+    !found
+  in
+  Format.fprintf fmt "@[<v>embedding %s + %s -> %s@," left.Design.rm_name right.Design.rm_name
+    m.Design.rm_name;
+  Array.iteri
+    (fun i kind ->
+      let side map = match find map i with Some o -> Printf.sprintf "I%d" o | None -> "-" in
+      Format.fprintf fmt "  M%d (%a): left=%s right=%s@," i Design.pp_inst_kind kind
+        (side corr.left_inst) (side corr.right_inst))
+    merged_insts;
+  let n_regs = (snd (List.hd m.Design.parts)).Design.n_regs in
+  for r = 0 to n_regs - 1 do
+    let side map = if r < Array.length map then Printf.sprintf "r%d" r else "-" in
+    Format.fprintf fmt "  q%d: left=%s right=%s@," r (side corr.left_reg) (side corr.right_reg)
+  done;
+  Format.fprintf fmt "@]"

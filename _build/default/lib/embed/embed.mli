@@ -1,0 +1,51 @@
+(** RTL embedding — executing multiple DFGs on one RTL module.
+
+    The paper's enabling technique for merging complex modules
+    (Example 3, Figure 3, Table 2): instead of re-running multi-
+    behavior synthesis for every candidate pair, the two existing RTL
+    modules are {e embedded} into a new module. Each component of one
+    module is matched onto a type-compatible component of the other
+    (or carried over unmatched); the constituent behaviors keep their
+    original schedules and assignments, now expressed over the merged
+    component set, and execute mutually exclusively. The matching is
+    greedy and cost-driven — the procedure must be fast because the
+    iterative engine assesses many sharing configurations.
+
+    Timing legality of a merge is not decided here: the synthesis move
+    that proposes it re-schedules the surrounding circuit with the
+    merged module's profiles, per the paper's "validity is checked by
+    scheduling". *)
+
+module Design = Hsyn_rtl.Design
+
+type correspondence = {
+  left_inst : int array;  (** left module's instance i → merged instance *)
+  right_inst : int array;
+  left_reg : int array;  (** left module's register r → merged register *)
+  right_reg : int array;
+}
+
+val merge_modules :
+  Design.ctx ->
+  name:string ->
+  Design.rtl_module ->
+  Design.rtl_module ->
+  (Design.rtl_module * correspondence) option
+(** Embed both modules into a fresh module implementing the union of
+    their behaviors. Matching rules: identical unit types match free;
+    a unit may host a weaker one as-is; otherwise the stronger of the
+    two types is kept (upgrade) when one side's type can execute the
+    other's work; nested modules match only when they are the same
+    module. Returns [None] when the two modules share a behavior name
+    with different variants (merging would be ambiguous). *)
+
+val merged_behaviors : Design.rtl_module -> Design.rtl_module -> string list option
+(** Behavior list a merge would implement, or [None] if the modules
+    collide (same behavior name on both sides). *)
+
+val pp_correspondence :
+  Format.formatter ->
+  Design.rtl_module * Design.rtl_module * Design.rtl_module * correspondence ->
+  unit
+(** Table-2-style rendering: each merged component with its left/right
+    counterparts. Arguments: (left, right, merged, correspondence). *)

@@ -1,0 +1,1 @@
+lib/eval/area.ml: Array Float Format Hashtbl Hsyn_dfg Hsyn_modlib Hsyn_rtl Hsyn_sched List Printf

@@ -1,0 +1,1 @@
+lib/eval/area.mli: Format Hsyn_dfg Hsyn_rtl

@@ -1,0 +1,1 @@
+lib/eval/fsm.ml: Area Array Format Hsyn_dfg Hsyn_rtl Hsyn_sched List Printf

@@ -1,0 +1,1 @@
+lib/eval/fsm.mli: Area Format Hsyn_rtl Hsyn_sched

@@ -1,0 +1,1 @@
+lib/eval/netlist.ml: Area Array Buffer Float Fsm Hsyn_dfg Hsyn_modlib Hsyn_rtl Hsyn_sched Hsyn_util List Printf String

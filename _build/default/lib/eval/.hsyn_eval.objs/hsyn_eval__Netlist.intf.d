@@ -1,0 +1,1 @@
+lib/eval/netlist.mli: Hsyn_rtl Hsyn_sched

@@ -1,0 +1,1 @@
+lib/eval/power.ml: Area Array Float Fun Hashtbl Hsyn_dfg Hsyn_modlib Hsyn_rtl Hsyn_sched Hsyn_util List Sim

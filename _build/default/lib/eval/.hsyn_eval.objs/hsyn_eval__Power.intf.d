@@ -1,0 +1,1 @@
+lib/eval/power.mli: Hsyn_rtl Hsyn_sched

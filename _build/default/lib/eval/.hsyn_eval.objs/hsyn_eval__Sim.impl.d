@@ -1,0 +1,1 @@
+lib/eval/sim.ml: Array Hashtbl Hsyn_dfg Hsyn_rtl List

@@ -1,0 +1,1 @@
+lib/eval/sim.mli: Hsyn_dfg Hsyn_rtl

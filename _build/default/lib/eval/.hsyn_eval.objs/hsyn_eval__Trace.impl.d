@@ -1,0 +1,1 @@
+lib/eval/trace.ml: Array Float Hsyn_util List

@@ -1,0 +1,1 @@
+lib/eval/trace.mli: Hsyn_util

@@ -1,0 +1,50 @@
+(** Analytical RTL area model.
+
+    Replaces the paper's SIS + OCTTOOLS layout flow (see DESIGN.md).
+    Area = functional units + registers + multiplexing (one increment
+    per steered source beyond the first on any functional-unit input
+    port or register input) + interconnect (per distinct point-to-point
+    net) + controller (per FSM state). Nested RTL modules contribute
+    their shared datapath once, with steering counted over the union
+    of all behaviors mapped to them — which is precisely what makes
+    RTL embedding (merging two modules) cheaper than keeping both. *)
+
+module Design = Hsyn_rtl.Design
+
+type source = Reg of int | Const_wire of int | Direct of int * int
+(** What a functional-unit input port is steered from: a register, a
+    hardwired constant, or an unregistered unit output. *)
+
+val source_of_value : Design.t -> Hsyn_dfg.Dfg.port -> source
+
+val port_feeds : Design.t -> int -> (int * Hsyn_dfg.Dfg.port) list
+(** The (stable port key, feeding value) pairs of an instance, over
+    every node bound to it — the basis for both mux-area counting and
+    per-port activity streams in {!Power}. Chain groups flatten their
+    external inputs in member order. *)
+
+type breakdown = {
+  units : float;
+  registers : float;
+  muxes : float;
+  wires : float;
+  controller : float;
+}
+
+val grand_total : breakdown -> float
+
+val datapath : Design.ctx -> Design.t -> breakdown
+(** Area of the design's datapath (controller field 0; add it with
+    {!total} once the schedule length is known). Recurses into module
+    instances. *)
+
+val total : Design.ctx -> Design.t -> n_states:int -> breakdown
+(** [datapath] plus the top-level controller ([n_states] is the
+    schedule makespan). *)
+
+val module_area : Design.ctx -> Design.rtl_module -> float
+(** Area of one complex RTL module: shared units and registers,
+    steering unioned over all behaviors, plus its internal controller
+    (one state per cycle of each behavior's schedule). *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

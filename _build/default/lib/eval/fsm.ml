@@ -1,0 +1,69 @@
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Dfg = Hsyn_dfg.Dfg
+
+type action =
+  | Start of { inst : int; node : string }
+  | Select of { inst : int; port : int; source : Area.source }
+  | Load of { reg : int; value : string }
+
+type state = { cycle : int; actions : action list }
+
+type t = { n_states : int; states : state list; design_name : string }
+
+let generate (design : Design.t) (sch : Sched.schedule) =
+  let dfg = design.Design.dfg in
+  let n_states = max 1 sch.Sched.makespan in
+  let at_cycle = Array.make (n_states + 1) [] in
+  let emit cycle a =
+    let c = min cycle n_states in
+    at_cycle.(c) <- a :: at_cycle.(c)
+  in
+  Array.iteri
+    (fun id (node : Dfg.node) ->
+      let start = sch.Sched.start.(id) in
+      if start >= 0 then begin
+        emit start (Start { inst = design.Design.node_inst.(id); node = node.Dfg.label });
+        Array.iteri
+          (fun port p ->
+            emit start
+              (Select
+                 { inst = design.Design.node_inst.(id); port; source = Area.source_of_value design p }))
+          node.Dfg.ins
+      end;
+      (* register loads happen when values become available *)
+      for out = 0 to node.Dfg.n_out - 1 do
+        let v = Design.value_index dfg { Dfg.node = id; out } in
+        let reg = design.Design.value_reg.(v) in
+        if reg >= 0 then
+          let when_ = sch.Sched.avail.(v) in
+          if when_ >= 0 then emit when_ (Load { reg; value = node.Dfg.label })
+      done)
+    dfg.Dfg.nodes;
+  let states =
+    List.init (n_states + 1) (fun c -> { cycle = c; actions = List.rev at_cycle.(c) })
+    |> List.filter (fun s -> s.actions <> [])
+  in
+  { n_states; states; design_name = dfg.Dfg.name }
+
+let pp_action fmt = function
+  | Start { inst; node } -> Format.fprintf fmt "start I%d(%s)" inst node
+  | Select { inst; port; source } ->
+      let s =
+        match source with
+        | Area.Reg r -> Printf.sprintf "r%d" r
+        | Area.Const_wire c -> Printf.sprintf "#%d" c
+        | Area.Direct (i, o) -> Printf.sprintf "I%d.%d" i o
+      in
+      Format.fprintf fmt "sel I%d.%d<-%s" inst port s
+  | Load { reg; value } -> Format.fprintf fmt "load r%d<-%s" reg value
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>controller for %s: %d states@," t.design_name t.n_states;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  S%d:" s.cycle;
+      List.iter (fun a -> Format.fprintf fmt " %a;" pp_action a) s.actions;
+      Format.fprintf fmt "@,")
+    t.states;
+  Format.fprintf fmt "@]"

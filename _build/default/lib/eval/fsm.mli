@@ -1,0 +1,30 @@
+(** FSM controller generation.
+
+    H-SYN's output is "a datapath netlist and a finite-state machine
+    description of the controller". The controller steps through one
+    state per schedule cycle; in each state it asserts start signals
+    for the units beginning an operation, mux select codes for their
+    operand sources, and load enables for the registers written that
+    cycle. *)
+
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+
+type action =
+  | Start of { inst : int; node : string }
+      (** instance begins executing the named DFG node *)
+  | Select of { inst : int; port : int; source : Area.source }
+      (** operand steering asserted for that activation *)
+  | Load of { reg : int; value : string }
+      (** register latches the named value *)
+
+type state = { cycle : int; actions : action list }
+
+type t = { n_states : int; states : state list; design_name : string }
+
+val generate : Design.t -> Sched.schedule -> t
+(** Controller for a scheduled design (top level only; nested modules
+    own their internal controllers). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable FSM listing. *)

@@ -1,0 +1,18 @@
+(** Structural netlist emission.
+
+    H-SYN's output is an RTL circuit: a datapath netlist plus an FSM
+    controller. This module renders a scheduled design as a
+    Verilog-flavoured structural netlist for inspection and downstream
+    tooling: port declarations, register declarations, one instance
+    per functional unit or nested RTL module, multiplexer assigns
+    keyed by the controller state, and the controller's state/actions
+    as a case block. The output favours readability over strict tool
+    compliance (nested modules are emitted as submodule definitions
+    with behavior-select ports). *)
+
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+
+val emit : Design.ctx -> Design.t -> Sched.schedule -> string
+(** Render the top-level design (with its controller) and, recursively,
+    one module definition per distinct nested RTL module. *)

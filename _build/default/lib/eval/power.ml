@@ -1,0 +1,197 @@
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Dfg = Hsyn_dfg.Dfg
+module Fu = Hsyn_modlib.Fu
+module Bits = Hsyn_util.Bits
+module Library = Hsyn_modlib.Library
+
+let width_f = Float.of_int Bits.word_width
+
+(* Activity sum of a word stream: sum over transitions of normalized
+   Hamming distance, starting from an all-zero word. *)
+let activity_sum stream =
+  let prev = ref 0 and acc = ref 0. in
+  List.iter
+    (fun v ->
+      acc := !acc +. (Float.of_int (Bits.hamming !prev v) /. width_f);
+      prev := v)
+    stream;
+  !acc
+
+(* Registers clocked by the design, including the shared register
+   files of nested RTL modules (counted once per module instance) and
+   their own nested modules. *)
+let rec clocked_regs (design : Design.t) =
+  let used = Array.make (max 1 design.Design.n_regs) false in
+  Array.iter (fun r -> if r >= 0 then used.(r) <- true) design.Design.value_reg;
+  let own = Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 used in
+  Array.fold_left
+    (fun acc kind ->
+      match kind with
+      | Design.Simple _ -> acc
+      | Design.Module rm -> acc + clocked_regs_of_module rm)
+    own design.Design.insts
+
+and clocked_regs_of_module (rm : Design.rtl_module) =
+  match rm.Design.parts with
+  | [] -> 0
+  | (_, first) :: _ as parts ->
+      let used = Array.make (max 1 first.Design.n_regs) false in
+      List.iter
+        (fun (_, (p : Design.t)) ->
+          Array.iter (fun r -> if r >= 0 then used.(r) <- true) p.Design.value_reg)
+        parts;
+      let own = Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 used in
+      Array.fold_left
+        (fun acc kind ->
+          match kind with
+          | Design.Simple _ -> acc
+          | Design.Module nested -> acc + clocked_regs_of_module nested)
+        own first.Design.insts
+
+(* Total functional-unit capacitance of a design, including nested
+   modules — the basis of the per-cycle idle-switching charge. *)
+let rec total_fu_cap (design : Design.t) =
+  Array.fold_left
+    (fun acc kind ->
+      match kind with
+      | Design.Simple fu -> acc +. fu.Fu.energy_cap
+      | Design.Module rm -> (
+          match rm.Design.parts with
+          | [] -> acc
+          | (_, first) :: _ -> acc +. total_fu_cap first))
+    0. design.Design.insts
+
+let rec energy_rec ~top ctx (cs : Sched.constraints) (design : Design.t) invocations =
+  let lib = ctx.Design.lib in
+  let dfg = design.Design.dfg in
+  let n_samples = List.length invocations in
+  if n_samples = 0 then 0.
+  else begin
+    let sch = Sched.schedule ctx cs design in
+    let streams = Sim.run design invocations in
+    let value_at s (p : Dfg.port) = streams.(s).(Design.value_index dfg p) in
+    let total = ref 0. in
+    (* --- functional units and modules --- *)
+    Array.iteri
+      (fun i kind ->
+        let nodes = Design.nodes_on design i in
+        if nodes <> [] then
+          match kind with
+          | Design.Simple fu ->
+              (* per-port operand streams across all samples, in
+                 scheduled activation order *)
+              let feeds = Area.port_feeds design i in
+              let port_keys = List.sort_uniq compare (List.map fst feeds) in
+              let port_stream key =
+                List.concat_map
+                  (fun s ->
+                    List.filter (fun (k, _) -> k = key) feeds
+                    |> List.sort (fun (_, (p1 : Dfg.port)) (_, p2) ->
+                           compare sch.Sched.start.(p1.Dfg.node) sch.Sched.start.(p2.Dfg.node))
+                    |> List.map (fun (_, p) -> value_at s p))
+                  (List.init n_samples Fun.id)
+              in
+              (* The feed list pairs (port key, consuming-node input):
+                 for a plain shared unit the same key appears once per
+                 bound node, giving the interleaved operand stream the
+                 sharing power effect comes from. Activation order
+                 within a sample follows the schedule. *)
+              let per_port = List.map (fun k -> activity_sum (port_stream k)) port_keys in
+              let n_ports = max 1 (List.length port_keys) in
+              let mean_act = List.fold_left ( +. ) 0. per_port /. Float.of_int n_ports in
+              total := !total +. (fu.Fu.energy_cap *. mean_act);
+              (* wire and mux charges per port *)
+              List.iter
+                (fun k ->
+                  let sources =
+                    List.filter (fun (key, _) -> key = k) feeds
+                    |> List.map (fun (_, p) -> Area.source_of_value design p)
+                    |> List.sort_uniq compare
+                  in
+                  let act = activity_sum (port_stream k) in
+                  let mux = if List.length sources > 1 then lib.Library.mux_cap else 0. in
+                  total := !total +. ((lib.Library.wire_cap +. mux) *. act))
+                port_keys
+          | Design.Module rm ->
+              (* group calls by behavior; recurse over merged streams *)
+              let by_behavior = Hashtbl.create 4 in
+              List.iter
+                (fun id ->
+                  match dfg.Dfg.nodes.(id).Dfg.kind with
+                  | Dfg.Call b ->
+                      let cur = match Hashtbl.find_opt by_behavior b with Some l -> l | None -> [] in
+                      Hashtbl.replace by_behavior b (id :: cur)
+                  | _ -> ())
+                nodes;
+              Hashtbl.iter
+                (fun behavior calls ->
+                  let calls =
+                    List.sort (fun a b -> compare sch.Sched.start.(a) sch.Sched.start.(b)) calls
+                  in
+                  let part = Design.module_part rm behavior in
+                  let inner_invocations =
+                    List.concat_map
+                      (fun s ->
+                        List.map (fun id -> Array.map (value_at s) dfg.Dfg.nodes.(id).Dfg.ins) calls)
+                      (List.init n_samples Fun.id)
+                  in
+                  let inner_cs = Sched.relaxed ~deadline:1_000_000 part.Design.dfg in
+                  let e = energy_rec ~top:false ctx inner_cs part inner_invocations in
+                  total := !total +. (e *. Float.of_int (List.length inner_invocations) /. Float.of_int n_samples))
+                by_behavior;
+              (* module input port wiring *)
+              let feeds = Area.port_feeds design i in
+              let port_keys = List.sort_uniq compare (List.map fst feeds) in
+              List.iter
+                (fun k ->
+                  let entries = List.filter (fun (key, _) -> key = k) feeds in
+                  let stream =
+                    List.concat_map
+                      (fun s -> List.map (fun (_, p) -> value_at s p) entries)
+                      (List.init n_samples Fun.id)
+                  in
+                  let sources =
+                    List.map (fun (_, p) -> Area.source_of_value design p) entries
+                    |> List.sort_uniq compare
+                  in
+                  let mux = if List.length sources > 1 then lib.Library.mux_cap else 0. in
+                  total := !total +. ((lib.Library.wire_cap +. mux) *. activity_sum stream))
+                port_keys)
+      design.Design.insts;
+    (* --- registers --- *)
+    for r = 0 to design.Design.n_regs - 1 do
+      let values = Design.values_in_reg design r in
+      if values <> [] then begin
+        let writes =
+          List.concat_map
+            (fun s ->
+              List.map (fun v -> (sch.Sched.avail.(v), streams.(s).(v))) values
+              |> List.sort compare |> List.map snd)
+            (List.init n_samples Fun.id)
+        in
+        let act = activity_sum writes in
+        let n_writers = List.length values in
+        let mux = if n_writers > 1 then lib.Library.mux_cap else 0. in
+        total := !total +. ((lib.Library.reg_cap +. lib.Library.wire_cap +. mux) *. act)
+      end
+    done;
+    (* --- controller --- *)
+    total := !total +. (lib.Library.ctrl_cap_per_cycle *. Float.of_int (max 1 sch.Sched.makespan));
+    (* --- idle switching: register clocking and functional-unit
+       input latching, over the whole design, every cycle --- *)
+    if top then begin
+      let cycles = Float.of_int (max 1 sch.Sched.makespan) in
+      total :=
+        !total
+        +. (lib.Library.reg_clock_cap *. Float.of_int (clocked_regs design) *. cycles)
+        +. (lib.Library.fu_idle_frac *. total_fu_cap design *. cycles)
+    end;
+    !total /. Float.of_int n_samples
+  end
+
+let energy_per_sample ctx cs design invocations = energy_rec ~top:true ctx cs design invocations
+
+let power ctx cs design invocations ~sampling_ns =
+  let e = energy_per_sample ctx cs design invocations in
+  e *. Hsyn_modlib.Voltage.energy_factor ctx.Design.vdd /. sampling_ns *. 1000.

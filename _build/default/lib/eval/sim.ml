@@ -1,0 +1,105 @@
+module Design = Hsyn_rtl.Design
+module Dfg = Hsyn_dfg.Dfg
+module Op = Hsyn_dfg.Op
+
+(* Evaluate one invocation of [design] given current top-level delay
+   state; returns (per-value results, next delay state). Call nodes
+   evaluate through the module part they are bound to, recursively,
+   with fresh (initial) state — module behaviors are stateless. *)
+let rec eval_once (design : Design.t) (state : (int, int) Hashtbl.t) (inputs : int array) =
+  let dfg = design.Design.dfg in
+  if Array.length inputs <> Array.length dfg.Dfg.inputs then
+    invalid_arg "Sim: input vector width mismatch";
+  let nv = Design.n_values dfg in
+  let values = Array.make nv 0 in
+  let value_of (p : Dfg.port) = values.(Design.value_index dfg p) in
+  let set_value node out v = values.(Design.value_index dfg { Dfg.node; out }) <- v in
+  (* Delay outputs carry the previous sample's value, so they must be
+     seeded before the topological walk: their consumers are ordered
+     before the Delay node itself (the delay only *latches* within the
+     sample). *)
+  Array.iteri
+    (fun id (node : Dfg.node) ->
+      match node.Dfg.kind with
+      | Dfg.Delay init ->
+          let v = match Hashtbl.find_opt state id with Some v -> v | None -> init in
+          set_value id 0 v
+      | _ -> ())
+    dfg.Dfg.nodes;
+  let order = Dfg.topo_order dfg in
+  Array.iter
+    (fun id ->
+      let node = dfg.Dfg.nodes.(id) in
+      match node.Dfg.kind with
+      | Dfg.Input ->
+          let pos = ref 0 in
+          Array.iteri (fun i nid -> if nid = id then pos := i) dfg.Dfg.inputs;
+          set_value id 0 inputs.(!pos)
+      | Dfg.Const v -> set_value id 0 v
+      | Dfg.Delay _ -> ()
+      | Dfg.Op op -> set_value id 0 (Op.eval op (List.map value_of (Array.to_list node.Dfg.ins)))
+      | Dfg.Call behavior ->
+          let inst = design.Design.node_inst.(id) in
+          let rm =
+            match design.Design.insts.(inst) with
+            | Design.Module rm -> rm
+            | Design.Simple _ -> invalid_arg "Sim: call bound to simple unit"
+          in
+          let part = Design.module_part rm behavior in
+          let args = Array.map value_of node.Dfg.ins in
+          let inner_state = Hashtbl.create 4 in
+          let inner_values, _ = eval_once part inner_state args in
+          let inner_dfg = part.Design.dfg in
+          Array.iteri
+            (fun j out_id ->
+              let src = inner_dfg.Dfg.nodes.(out_id).Dfg.ins.(0) in
+              set_value id j inner_values.(Design.value_index inner_dfg src))
+            inner_dfg.Dfg.outputs
+      | Dfg.Output -> ())
+    order;
+  (* latch next delay state *)
+  let next_state = Hashtbl.copy state in
+  Array.iteri
+    (fun id (node : Dfg.node) ->
+      match node.Dfg.kind with
+      | Dfg.Delay _ -> Hashtbl.replace next_state id (value_of node.Dfg.ins.(0))
+      | _ -> ())
+    dfg.Dfg.nodes;
+  (values, next_state)
+
+let run (design : Design.t) invocations =
+  let state = ref (Hashtbl.create 8) in
+  let streams =
+    List.map
+      (fun inputs ->
+        let values, next = eval_once design !state inputs in
+        state := next;
+        values)
+      invocations
+  in
+  Array.of_list streams
+
+let outputs (design : Design.t) streams =
+  let dfg = design.Design.dfg in
+  Array.to_list streams
+  |> List.map (fun values ->
+         Array.map
+           (fun out_id ->
+             let src = dfg.Dfg.nodes.(out_id).Dfg.ins.(0) in
+             values.(Design.value_index dfg src))
+           dfg.Dfg.outputs)
+
+(* A trivial design wrapper lets the flat reference path reuse
+   [eval_once]: bind nothing (flat graphs evaluated purely). *)
+let run_flat (dfg : Dfg.t) invocations =
+  if Dfg.n_calls dfg > 0 then invalid_arg "Sim.run_flat: graph must be flat";
+  let design =
+    {
+      Design.dfg;
+      insts = [||];
+      node_inst = Array.make (Array.length dfg.Dfg.nodes) (-1);
+      value_reg = Array.make (Design.n_values dfg) (-1);
+      n_regs = 0;
+    }
+  in
+  outputs design (run design invocations)

@@ -1,0 +1,29 @@
+module Rng = Hsyn_util.Rng
+module Bits = Hsyn_util.Bits
+
+type kind = White | Correlated of float | Ramp of int
+
+let default_kind = Correlated 0.9
+
+let amplitude = 1 lsl (Bits.word_width - 2)
+
+let generate rng kind ~n_inputs ~length =
+  let streams =
+    Array.init n_inputs (fun _ ->
+        match kind with
+        | White -> Array.init length (fun _ -> Bits.truncate (Rng.bits rng Bits.word_width))
+        | Ramp step ->
+            let v = ref (Rng.int rng amplitude) in
+            Array.init length (fun _ ->
+                let cur = !v in
+                v := Bits.truncate (cur + step);
+                cur)
+        | Correlated rho ->
+            let x = ref (Float.of_int (Rng.int rng amplitude) -. (Float.of_int amplitude /. 2.)) in
+            let sigma = Float.of_int amplitude /. 8. in
+            Array.init length (fun _ ->
+                let cur = Bits.truncate (int_of_float !x) in
+                x := (rho *. !x) +. (sigma *. Rng.gaussian rng);
+                cur))
+  in
+  List.init length (fun s -> Array.init n_inputs (fun i -> streams.(i).(s)))

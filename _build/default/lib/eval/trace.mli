@@ -1,0 +1,24 @@
+(** Input-trace generation for power estimation.
+
+    The paper feeds "typical input traces" to its power estimator. We
+    generate synthetic traces with controllable temporal correlation:
+    DSP inputs are typically strongly correlated (small sample-to-sample
+    Hamming distance), which is exactly what makes resource sharing a
+    power issue — interleaving two uncorrelated streams on one shared
+    unit raises its switching activity. *)
+
+type kind =
+  | White  (** independent uniform words *)
+  | Correlated of float
+      (** AR(1) stream: x(t+1) = ρ·x(t) + noise; ρ ∈ [0,1), higher is
+          smoother *)
+  | Ramp of int  (** deterministic ramp with the given step *)
+
+val generate : Hsyn_util.Rng.t -> kind -> n_inputs:int -> length:int -> int array list
+(** [generate rng kind ~n_inputs ~length] draws [length] sample
+    vectors of [n_inputs] words each (one independent stream per
+    input). *)
+
+val default_kind : kind
+(** [Correlated 0.9] — the speech-like default used by the experiment
+    harness. *)

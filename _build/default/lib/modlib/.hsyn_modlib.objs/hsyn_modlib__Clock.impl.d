@@ -1,0 +1,1 @@
+lib/modlib/clock.ml: Array Float Fu Library List

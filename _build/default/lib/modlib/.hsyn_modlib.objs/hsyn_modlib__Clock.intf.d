@@ -1,0 +1,1 @@
+lib/modlib/clock.mli: Library Voltage

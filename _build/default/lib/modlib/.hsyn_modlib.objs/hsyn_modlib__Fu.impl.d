@@ -1,0 +1,1 @@
+lib/modlib/fu.ml: Float Format Hsyn_dfg List Printf String Voltage

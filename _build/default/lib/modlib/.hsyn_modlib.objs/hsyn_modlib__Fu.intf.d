@@ -1,0 +1,1 @@
+lib/modlib/fu.mli: Format Hsyn_dfg Voltage

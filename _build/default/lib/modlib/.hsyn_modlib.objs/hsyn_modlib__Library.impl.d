@@ -1,0 +1,1 @@
+lib/modlib/library.ml: Format Fu Hsyn_dfg List

@@ -1,0 +1,1 @@
+lib/modlib/library.mli: Format Fu Hsyn_dfg

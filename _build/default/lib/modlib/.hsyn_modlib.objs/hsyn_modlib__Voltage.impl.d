@@ -1,0 +1,1 @@
+lib/modlib/voltage.ml:

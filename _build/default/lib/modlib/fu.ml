@@ -1,0 +1,40 @@
+module Op = Hsyn_dfg.Op
+
+type kind = Unit of Op.t list | Chain of Op.t * int
+
+type t = {
+  name : string;
+  kind : kind;
+  area : float;
+  delay_ns : float;
+  energy_cap : float;
+  pipelined : bool;
+}
+
+let supports t op =
+  match t.kind with Unit fns -> List.mem op fns | Chain (k, _) -> k = op
+
+let chain_length t = match t.kind with Unit _ -> 1 | Chain (_, k) -> k
+let is_chain t = match t.kind with Unit _ -> false | Chain _ -> true
+
+let delay_at t vdd = Voltage.scale_delay vdd t.delay_ns
+
+let cycles_at t vdd ~clk_ns =
+  let d = delay_at t vdd in
+  max 1 (int_of_float (Float.ceil (d /. clk_ns -. 1e-9)))
+
+let compatible a b =
+  match a.kind, b.kind with
+  | Unit fa, Unit fb -> List.for_all (fun op -> List.mem op fa) fb
+  | Chain (opa, ka), Chain (opb, kb) -> opa = opb && ka = kb
+  | Unit _, Chain _ | Chain _, Unit _ -> false
+
+let pp fmt t =
+  let kind_str =
+    match t.kind with
+    | Unit fns -> String.concat "/" (List.map Op.name fns)
+    | Chain (op, k) -> Printf.sprintf "chain[%s x%d]" (Op.name op) k
+  in
+  Format.fprintf fmt "%s(%s, area=%.0f, d=%.1fns, cap=%.2f%s)" t.name kind_str t.area t.delay_ns
+    t.energy_cap
+    (if t.pipelined then ", pipe" else "")

@@ -1,0 +1,56 @@
+(** Simple RTL module (functional unit) descriptors.
+
+    A simple module either executes one operation at a time from a
+    set of supported operations (possibly a multi-function ALU), or is
+    a {e chain unit} that executes a fixed-length linear chain of
+    same-kind operations as a single job within one activation (the
+    paper's chained adders, Table 1). Delays are in nanoseconds at
+    5 V; see {!Voltage} for scaling. *)
+
+module Op = Hsyn_dfg.Op
+(** Re-exported operation alphabet. *)
+
+type kind =
+  | Unit of Op.t list
+      (** executes any one operation from the set per activation *)
+  | Chain of Op.t * int
+      (** executes a linear chain of exactly [k] operations of the
+          given kind as one activation (e.g. [chained_add3]) *)
+
+type t = {
+  name : string;  (** unique library name *)
+  kind : kind;
+  area : float;  (** layout area, normalized units *)
+  delay_ns : float;  (** input-to-output propagation delay at 5 V *)
+  energy_cap : float;
+      (** effective switched capacitance per activation at full input
+          activity; per-operation energy is
+          [energy_cap · α · V²] with α the operand Hamming activity *)
+  pipelined : bool;
+      (** if set, a new activation may start every cycle even while
+          earlier ones are still in flight (initiation interval 1) *)
+}
+
+val supports : t -> Op.t -> bool
+(** Whether a single operation of the given kind can run on this unit
+    (chain units support their own kind — a chain of length 1 ≤ k). *)
+
+val chain_length : t -> int
+(** 1 for plain units, [k] for [Chain (_, k)]. *)
+
+val is_chain : t -> bool
+
+val delay_at : t -> Voltage.t -> float
+(** Propagation delay in ns at the given supply voltage. *)
+
+val cycles_at : t -> Voltage.t -> clk_ns:float -> int
+(** Latency in whole clock cycles at voltage and clock period
+    (at least 1). *)
+
+val compatible : t -> t -> bool
+(** [compatible a b]: unit [a] can execute everything [b] can — the
+    requirement for replacing [b] by [a] or merging [b]'s work onto an
+    [a]-typed instance. *)
+
+val pp : Format.formatter -> t -> unit
+(** [name(area=…,d=…ns,cap=…)]. *)

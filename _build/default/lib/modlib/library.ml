@@ -1,0 +1,82 @@
+module Op = Hsyn_dfg.Op
+
+type t = {
+  units : Fu.t list;
+  reg_area : float;
+  reg_cap : float;
+  reg_clock_cap : float;
+  mux_area_per_input : float;
+  mux_cap : float;
+  wire_area : float;
+  wire_cap : float;
+  ctrl_area_per_state : float;
+  ctrl_cap_per_cycle : float;
+  fu_idle_frac : float;
+}
+
+let unit name kind area delay_ns energy_cap =
+  { Fu.name; kind; area; delay_ns; energy_cap; pipelined = false }
+
+(* Table 1 delays are in cycles of a 20 ns clock at 5 V; the ns values
+   below reproduce them exactly under that clock. Capacitances follow
+   the paper's qualitative facts: mult2 is much lower energy than
+   mult1, registers and adders are cheap. *)
+let default =
+  {
+    units =
+      [
+        unit "add1" (Fu.Unit [ Op.Add ]) 30. 18. 1.0;
+        unit "add2" (Fu.Unit [ Op.Add ]) 20. 36. 0.7;
+        unit "chained_add2" (Fu.Chain (Op.Add, 2)) 60. 19. 1.8;
+        unit "chained_add3" (Fu.Chain (Op.Add, 3)) 90. 19.5 2.6;
+        unit "mult1" (Fu.Unit [ Op.Mult ]) 150. 55. 6.0;
+        unit "mult2" (Fu.Unit [ Op.Mult ]) 100. 95. 2.8;
+        { (unit "mult_pipe" (Fu.Unit [ Op.Mult ]) 175. 55. 6.5) with Fu.pipelined = true };
+        unit "sub1" (Fu.Unit [ Op.Sub ]) 32. 18. 1.0;
+        unit "sub2" (Fu.Unit [ Op.Sub ]) 22. 36. 0.7;
+        unit "addsub1" (Fu.Unit [ Op.Add; Op.Sub ]) 42. 19. 1.2;
+        unit "alu1" (Fu.Unit [ Op.Add; Op.Sub; Op.Min; Op.Max; Op.Lt; Op.Neg; Op.Abs ]) 55. 19.5 1.5;
+        unit "shift1" (Fu.Unit [ Op.Lsh; Op.Rsh ]) 25. 10. 0.5;
+        unit "cmp1" (Fu.Unit [ Op.Lt; Op.Min; Op.Max ]) 18. 12. 0.4;
+        unit "neg1" (Fu.Unit [ Op.Neg; Op.Abs ]) 16. 10. 0.3;
+      ];
+    reg_area = 10.;
+    reg_cap = 0.3;
+    reg_clock_cap = 0.01;
+    mux_area_per_input = 6.;
+    mux_cap = 0.15;
+    wire_area = 1.5;
+    wire_cap = 0.05;
+    ctrl_area_per_state = 3.;
+    ctrl_cap_per_cycle = 0.2;
+    fu_idle_frac = 0.012;
+  }
+
+let find t name = List.find_opt (fun (u : Fu.t) -> u.name = name) t.units
+
+let find_exn t name =
+  match find t name with Some u -> u | None -> raise Not_found
+
+let units_for t op =
+  List.filter (fun (u : Fu.t) -> (not (Fu.is_chain u)) && Fu.supports u op) t.units
+  |> List.sort (fun (a : Fu.t) (b : Fu.t) ->
+         match compare a.delay_ns b.delay_ns with 0 -> compare a.area b.area | c -> c)
+
+let chains_for t op len =
+  List.filter (fun (u : Fu.t) -> u.kind = Fu.Chain (op, len)) t.units
+
+let fastest_for t op =
+  match units_for t op with [] -> raise Not_found | u :: _ -> u
+
+let alternatives t u =
+  List.filter (fun (cand : Fu.t) -> cand.name <> u.Fu.name && Fu.compatible cand u) t.units
+
+let min_op_delay_ns t op = (fastest_for t op).Fu.delay_ns
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>Functional units:@,";
+  List.iter (fun u -> Format.fprintf fmt "  %a@," Fu.pp u) t.units;
+  Format.fprintf fmt
+    "Costs: reg(area=%.0f cap=%.2f clk-cap=%.3f) mux(+%.0f/input cap=%.2f) wire(area=%.1f cap=%.2f) ctrl(%.0f/state cap=%.2f/cycle)@]"
+    t.reg_area t.reg_cap t.reg_clock_cap t.mux_area_per_input t.mux_cap t.wire_area t.wire_cap
+    t.ctrl_area_per_state t.ctrl_cap_per_cycle

@@ -1,0 +1,67 @@
+(** The module library handed to synthesis: simple functional units
+    plus the technology cost coefficients for registers, multiplexers,
+    wiring and control logic that the RTL area/power models use.
+
+    The {!default} library reproduces the paper's Table 1 (add1, add2,
+    chained_add2, chained_add3, mult1, mult2, reg1) with delays
+    expressed in ns at 5 V so that a 20 ns clock gives exactly the
+    cycle counts of the table, and extends it with the subtracter,
+    shifter, ALU and pipelined-multiplier entries the algorithm
+    features require (multi-function ALUs, pipelined units). *)
+
+module Op = Hsyn_dfg.Op
+
+type t = {
+  units : Fu.t list;  (** every selectable functional unit *)
+  reg_area : float;  (** area of one word register *)
+  reg_cap : float;  (** switched cap per register write at full activity *)
+  reg_clock_cap : float;
+      (** cap switched per register per clock cycle just from clocking
+          (the term that makes extra hardware cost power even when
+          idle, and hence makes compactness power-relevant) *)
+  mux_area_per_input : float;
+      (** area per steered source beyond the first on any input port *)
+  mux_cap : float;  (** switched cap per mux traversal *)
+  wire_area : float;  (** interconnect area charged per point-to-point net *)
+  wire_cap : float;  (** switched cap per net toggle *)
+  ctrl_area_per_state : float;  (** FSM controller area per state *)
+  ctrl_cap_per_cycle : float;  (** controller cap switched every cycle *)
+  fu_idle_frac : float;
+      (** fraction of a unit's [energy_cap] switched every clock cycle
+          regardless of activity (input-latch clocking, imperfect
+          gating); with {!field-reg_clock_cap} this is what makes idle
+          hardware cost power *)
+}
+
+val default : t
+(** Table 1 library plus the standard extensions described above. *)
+
+val find : t -> string -> Fu.t option
+(** Look a unit up by name. *)
+
+val find_exn : t -> string -> Fu.t
+(** @raise Not_found for unknown names. *)
+
+val units_for : t -> Op.t -> Fu.t list
+(** Plain (non-chain) units able to execute the operation, fastest
+    first (ties: smaller area first). *)
+
+val chains_for : t -> Op.t -> int -> Fu.t list
+(** Chain units of exactly the given kind and length. *)
+
+val fastest_for : t -> Op.t -> Fu.t
+(** Fastest plain unit for the operation — used by INITIAL_SOLUTION
+    and by minimum-sampling-period computation.
+    @raise Not_found if no unit supports the operation. *)
+
+val alternatives : t -> Fu.t -> Fu.t list
+(** Units that could replace the given unit (support at least its
+    capability set; chains match kind and length), excluding itself —
+    the candidate set for a type-A move on a simple unit. *)
+
+val min_op_delay_ns : t -> Op.t -> float
+(** Delay of {!fastest_for} at 5 V. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing of all units and the cost coefficients
+    (regenerates Table 1). *)

@@ -1,0 +1,15 @@
+type t = float
+
+let nominal = 5.0
+let threshold = 0.8
+let candidates = [ 5.0; 3.3; 2.4 ]
+
+let raw_delay v = v /. ((v -. threshold) *. (v -. threshold))
+
+let delay_factor v =
+  if v <= threshold then invalid_arg "Voltage.delay_factor: below threshold";
+  raw_delay v /. raw_delay nominal
+
+let energy_factor v = v *. v /. (nominal *. nominal)
+
+let scale_delay v d5 = d5 *. delay_factor v

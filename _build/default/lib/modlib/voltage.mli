@@ -1,0 +1,36 @@
+(** Supply-voltage model.
+
+    Lowering V{_dd} reduces energy quadratically but slows gates; the
+    synthesizer exploits schedule slack to scale voltage down
+    (V{_dd} selection, one of the paper's co-optimized tasks). We use
+    the standard first-order CMOS delay law
+    d(V) ∝ V / (V − V{_t})² with V{_t} = 0.8 V, normalized so that
+    d(5 V) = 1. *)
+
+type t = float
+(** Supply voltage in volts. *)
+
+val nominal : t
+(** 5.0 V — the reference voltage for all library delay and power
+    numbers, and the voltage the paper's area-optimized baseline runs
+    at. *)
+
+val threshold : float
+(** Device threshold V{_t} = 0.8 V. *)
+
+val candidates : t list
+(** The discrete supply-voltage set explored by synthesis, descending:
+    5.0, 3.3, 2.4 V (the classic multi-V{_dd} set of the low-power HLS
+    literature). *)
+
+val delay_factor : t -> float
+(** [delay_factor v] is d(v)/d(5V) ≥ 1 for v ≤ 5.
+    @raise Invalid_argument if [v <= threshold]. *)
+
+val energy_factor : t -> float
+(** [energy_factor v] = (v/5)², the per-operation switched-energy
+    scaling. *)
+
+val scale_delay : t -> float -> float
+(** [scale_delay v d5] is the delay at [v] of a module whose 5 V delay
+    is [d5] ns. *)

@@ -1,0 +1,1 @@
+lib/rtl/design.ml: Array Format Hsyn_dfg Hsyn_modlib List Printf String

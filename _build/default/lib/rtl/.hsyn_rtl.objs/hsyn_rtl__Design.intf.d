@@ -1,0 +1,1 @@
+lib/rtl/design.mli: Format Hsyn_dfg Hsyn_modlib

@@ -1,0 +1,245 @@
+module Op = Hsyn_dfg.Op
+module Dfg = Hsyn_dfg.Dfg
+module Fu = Hsyn_modlib.Fu
+
+type ctx = {
+  lib : Hsyn_modlib.Library.t;
+  vdd : Hsyn_modlib.Voltage.t;
+  clk_ns : float;
+}
+
+type inst_kind = Simple of Fu.t | Module of rtl_module
+
+and rtl_module = { rm_name : string; parts : (string * t) list }
+
+and t = {
+  dfg : Dfg.t;
+  insts : inst_kind array;
+  node_inst : int array;
+  value_reg : int array;
+  n_regs : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Value numbering *)
+
+let value_offsets (dfg : Dfg.t) =
+  let n = Array.length dfg.nodes in
+  let offsets = Array.make (n + 1) 0 in
+  for id = 0 to n - 1 do
+    offsets.(id + 1) <- offsets.(id) + dfg.nodes.(id).Dfg.n_out
+  done;
+  offsets
+
+let n_values dfg =
+  let offsets = value_offsets dfg in
+  offsets.(Array.length dfg.nodes)
+
+let value_index dfg ({ Dfg.node; out } : Dfg.port) = (value_offsets dfg).(node) + out
+
+let value_of_index dfg idx =
+  let offsets = value_offsets dfg in
+  let n = Array.length dfg.nodes in
+  let rec search lo hi =
+    (* invariant: offsets.(lo) <= idx < offsets.(hi) *)
+    if hi - lo = 1 then { Dfg.node = lo; out = idx - offsets.(lo) }
+    else
+      let mid = (lo + hi) / 2 in
+      if idx < offsets.(mid) then search lo mid else search mid hi
+  in
+  if idx < 0 || idx >= offsets.(n) then invalid_arg "Design.value_of_index";
+  search 0 n
+
+(* ------------------------------------------------------------------ *)
+(* Module queries *)
+
+let module_part rm behavior = List.assoc behavior rm.parts
+let module_behaviors rm = List.map fst rm.parts
+
+(* ------------------------------------------------------------------ *)
+(* Design queries *)
+
+let nodes_on d inst =
+  let acc = ref [] in
+  for id = Array.length d.node_inst - 1 downto 0 do
+    if d.node_inst.(id) = inst then acc := id :: !acc
+  done;
+  !acc
+
+let values_in_reg d reg =
+  let acc = ref [] in
+  for v = Array.length d.value_reg - 1 downto 0 do
+    if d.value_reg.(v) = reg then acc := v :: !acc
+  done;
+  !acc
+
+let inst_used d inst = Array.exists (fun i -> i = inst) d.node_inst
+
+let reg_count_used d =
+  let used = Array.make d.n_regs false in
+  Array.iter (fun r -> if r >= 0 then used.(r) <- true) d.value_reg;
+  Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 used
+
+(* Check that the nodes bound to a chain instance form one linear
+   chain of same-kind operations of the required length: each node but
+   the last feeds exactly the next one in the set. *)
+let chain_shape_ok (d : t) nodes op len =
+  List.length nodes = len
+  && List.for_all (fun id -> d.dfg.nodes.(id).Dfg.kind = Dfg.Op op) nodes
+  &&
+  let in_set id = List.mem id nodes in
+  let internal_succ id =
+    List.filter
+      (fun other ->
+        Array.exists (fun ({ Dfg.node; _ } : Dfg.port) -> node = id) d.dfg.nodes.(other).Dfg.ins)
+      (List.filter (fun other -> other <> id && in_set other) nodes)
+  in
+  let heads = List.filter (fun id -> internal_succ id = []) nodes in
+  (* exactly one tail, and following predecessors covers the set *)
+  List.length heads = 1
+  && List.for_all (fun id -> List.length (internal_succ id) <= 1) nodes
+
+let rec validate ctx (d : t) =
+  let n_nodes = Array.length d.dfg.nodes in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  if Array.length d.node_inst <> n_nodes then err "%s: node_inst length mismatch" d.dfg.name
+  else if Array.length d.value_reg <> n_values d.dfg then err "%s: value_reg length mismatch" d.dfg.name
+  else begin
+    let problem = ref None in
+    let set_problem m = if !problem = None then problem := Some m in
+    Array.iteri
+      (fun id (node : Dfg.node) ->
+        let inst = d.node_inst.(id) in
+        match node.Dfg.kind with
+        | Dfg.Op op -> (
+            if inst < 0 || inst >= Array.length d.insts then
+              set_problem (Printf.sprintf "%s: op %s unbound" d.dfg.name node.Dfg.label)
+            else
+              match d.insts.(inst) with
+              | Simple fu ->
+                  if not (Fu.supports fu op) then
+                    set_problem
+                      (Printf.sprintf "%s: %s bound to incompatible unit %s" d.dfg.name node.Dfg.label
+                         fu.Fu.name)
+                  else if Fu.is_chain fu then begin
+                    let nodes = nodes_on d inst in
+                    if not (chain_shape_ok d nodes op (Fu.chain_length fu)) then
+                      set_problem
+                        (Printf.sprintf "%s: nodes on chain unit %s do not form a %d-chain" d.dfg.name
+                           fu.Fu.name (Fu.chain_length fu))
+                  end
+              | Module _ ->
+                  set_problem (Printf.sprintf "%s: op %s bound to a module" d.dfg.name node.Dfg.label))
+        | Dfg.Call behavior -> (
+            if inst < 0 || inst >= Array.length d.insts then
+              set_problem (Printf.sprintf "%s: call %s unbound" d.dfg.name node.Dfg.label)
+            else
+              match d.insts.(inst) with
+              | Module rm ->
+                  if not (List.mem_assoc behavior rm.parts) then
+                    set_problem
+                      (Printf.sprintf "%s: call %s bound to module %s lacking behavior %s" d.dfg.name
+                         node.Dfg.label rm.rm_name behavior)
+              | Simple _ ->
+                  set_problem (Printf.sprintf "%s: call %s bound to a simple unit" d.dfg.name node.Dfg.label))
+        | Dfg.Input | Dfg.Output | Dfg.Const _ | Dfg.Delay _ ->
+            if inst <> -1 then
+              set_problem (Printf.sprintf "%s: node %s should be unbound" d.dfg.name node.Dfg.label))
+      d.dfg.nodes;
+    Array.iteri
+      (fun v reg ->
+        if reg < -1 || reg >= d.n_regs then
+          set_problem (Printf.sprintf "%s: value %d register %d out of range" d.dfg.name v reg))
+      d.value_reg;
+    match !problem with
+    | Some m -> Error m
+    | None ->
+        (* module parts must share resources and validate recursively *)
+        Array.fold_left
+          (fun acc kind ->
+            match acc, kind with
+            | Error _, _ -> acc
+            | Ok (), Simple _ -> acc
+            | Ok (), Module rm -> (
+                match rm.parts with
+                | [] -> Error (Printf.sprintf "module %s has no parts" rm.rm_name)
+                | (_, first) :: _ ->
+                    List.fold_left
+                      (fun acc (_, part) ->
+                        match acc with
+                        | Error _ -> acc
+                        | Ok () ->
+                            if part.insts <> first.insts || part.n_regs <> first.n_regs then
+                              Error (Printf.sprintf "module %s: parts disagree on resources" rm.rm_name)
+                            else validate ctx part)
+                      (Ok ()) rm.parts))
+          (Ok ()) d.insts
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Functional updates *)
+
+let with_inst d i kind =
+  let insts = Array.copy d.insts in
+  insts.(i) <- kind;
+  { d with insts }
+
+let with_binding d node inst =
+  let node_inst = Array.copy d.node_inst in
+  node_inst.(node) <- inst;
+  { d with node_inst }
+
+let with_value_reg d value reg =
+  let value_reg = Array.copy d.value_reg in
+  value_reg.(value) <- reg;
+  { d with value_reg; n_regs = max d.n_regs (reg + 1) }
+
+let add_inst d kind =
+  let insts = Array.append d.insts [| kind |] in
+  ({ d with insts }, Array.length insts - 1)
+
+let fresh_reg d = ({ d with n_regs = d.n_regs + 1 }, d.n_regs)
+
+let compact d =
+  let inst_map = Array.make (Array.length d.insts) (-1) in
+  let kept = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun i kind ->
+      if inst_used d i then begin
+        inst_map.(i) <- !next;
+        incr next;
+        kept := kind :: !kept
+      end)
+    d.insts;
+  let insts = Array.of_list (List.rev !kept) in
+  let node_inst = Array.map (fun i -> if i < 0 then -1 else inst_map.(i)) d.node_inst in
+  let reg_map = Array.make d.n_regs (-1) in
+  let next_reg = ref 0 in
+  Array.iter
+    (fun r ->
+      if r >= 0 && reg_map.(r) < 0 then begin
+        reg_map.(r) <- !next_reg;
+        incr next_reg
+      end)
+    d.value_reg;
+  let value_reg = Array.map (fun r -> if r < 0 then -1 else reg_map.(r)) d.value_reg in
+  { d with insts; node_inst; value_reg; n_regs = !next_reg }
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let rec pp_inst_kind fmt = function
+  | Simple fu -> Fu.pp fmt fu
+  | Module rm ->
+      Format.fprintf fmt "module %s{%s}" rm.rm_name (String.concat "," (module_behaviors rm))
+
+and pp fmt (d : t) =
+  Format.fprintf fmt "@[<v>design for %s:@," d.dfg.name;
+  Array.iteri
+    (fun i kind ->
+      let nodes = nodes_on d i in
+      let labels = List.map (fun id -> d.dfg.nodes.(id).Dfg.label) nodes in
+      Format.fprintf fmt "  I%d: %a <- [%s]@," i pp_inst_kind kind (String.concat " " labels))
+    d.insts;
+  Format.fprintf fmt "  registers: %d in use / %d allocated@]" (reg_count_used d) d.n_regs

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Float Format Hashtbl Hsyn_dfg Hsyn_modlib Hsyn_rtl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/sched/sched.mli: Format Hsyn_dfg Hsyn_modlib Hsyn_rtl

@@ -1,0 +1,511 @@
+module Dfg = Hsyn_dfg.Dfg
+module Design = Hsyn_rtl.Design
+module Fu = Hsyn_modlib.Fu
+
+type profile = { in_need : int array; out_ready : int array; busy : int }
+
+type constraints = {
+  input_arrival : int array;
+  output_deadline : int array option;
+  deadline : int;
+}
+
+let relaxed ~deadline (dfg : Dfg.t) =
+  { input_arrival = Array.make (Array.length dfg.inputs) 0; output_deadline = None; deadline }
+
+type schedule = { start : int array; avail : int array; makespan : int; feasible : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Job model *)
+
+type job = {
+  members : int list;  (* node ids executed by this job *)
+  inst : int;
+  busy : int;  (* cycles the instance is occupied *)
+  pipelined : bool;
+  needs : (Dfg.port * int) list;  (* external input value, need offset *)
+  outs : (int * int * int) list;  (* node, out port, ready offset *)
+}
+
+let infinite_deadline = 1_000_000
+
+(* Profiles are requested for every module job of every scheduling
+   call, and computing one schedules the module's part recursively —
+   memoize per (module identity, behavior, technology context). *)
+module Profile_key = struct
+  type t = Design.rtl_module
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end
+
+module Profile_tbl = Hashtbl.Make (Profile_key)
+
+let profile_cache : (string * float * float * profile) list Profile_tbl.t = Profile_tbl.create 64
+
+let rec module_profile ctx rm behavior =
+  let key = (behavior, ctx.Design.vdd, ctx.Design.clk_ns) in
+  let cached = try Profile_tbl.find profile_cache rm with Not_found -> [] in
+  match
+    List.find_opt (fun (b, v, c, _) -> b = behavior && v = ctx.Design.vdd && c = ctx.Design.clk_ns) cached
+  with
+  | Some (_, _, _, p) -> p
+  | None ->
+      let p = compute_module_profile ctx rm behavior in
+      let b, v, c = key in
+      Profile_tbl.replace profile_cache rm ((b, v, c, p) :: cached);
+      p
+
+and compute_module_profile ctx rm behavior =
+  let part = Design.module_part rm behavior in
+  let cs = relaxed ~deadline:infinite_deadline part.Design.dfg in
+  let sch = schedule ctx cs part in
+  let dfg = part.Design.dfg in
+  let in_need =
+    Array.map
+      (fun input_id ->
+        (* first time the input's value is consumed *)
+        let consumers = ref [] in
+        Array.iteri
+          (fun dst (node : Dfg.node) ->
+            Array.iter
+              (fun ({ Dfg.node = src; _ } : Dfg.port) -> if src = input_id then consumers := dst :: !consumers)
+              node.Dfg.ins)
+          dfg.Dfg.nodes;
+        match !consumers with
+        | [] -> 0
+        | l ->
+            List.fold_left
+              (fun acc dst ->
+                let s = sch.start.(dst) in
+                let s = if s < 0 then 0 else s in
+                min acc s)
+              max_int l)
+      dfg.Dfg.inputs
+  in
+  let out_ready =
+    Array.map
+      (fun output_id ->
+        let src = dfg.Dfg.nodes.(output_id).Dfg.ins.(0) in
+        sch.avail.(Design.value_index dfg src))
+      dfg.Dfg.outputs
+  in
+  { in_need; out_ready; busy = sch.makespan }
+
+and build_jobs ctx (d : Design.t) =
+  let dfg = d.Design.dfg in
+  let jobs = ref [] in
+  let add_job j = jobs := j :: !jobs in
+  let external_needs members need_of =
+    let in_members src = List.mem src members in
+    List.concat_map
+      (fun id ->
+        Array.to_list dfg.Dfg.nodes.(id).Dfg.ins
+        |> List.mapi (fun port src -> (port, src))
+        |> List.filter_map (fun (port, ({ Dfg.node = src; _ } as p)) ->
+               if in_members src then None else Some (p, need_of id port)))
+      members
+  in
+  Array.iteri
+    (fun i kind ->
+      let nodes = Design.nodes_on d i in
+      match kind, nodes with
+      | _, [] -> ()
+      | Design.Simple fu, nodes when Fu.is_chain fu ->
+          let latency = Fu.cycles_at fu ctx.Design.vdd ~clk_ns:ctx.Design.clk_ns in
+          add_job
+            {
+              members = nodes;
+              inst = i;
+              busy = latency;
+              pipelined = fu.Fu.pipelined;
+              needs = external_needs nodes (fun _ _ -> 0);
+              outs = List.map (fun id -> (id, 0, latency)) nodes;
+            }
+      | Design.Simple fu, nodes ->
+          let latency = Fu.cycles_at fu ctx.Design.vdd ~clk_ns:ctx.Design.clk_ns in
+          List.iter
+            (fun id ->
+              add_job
+                {
+                  members = [ id ];
+                  inst = i;
+                  busy = latency;
+                  pipelined = fu.Fu.pipelined;
+                  needs = external_needs [ id ] (fun _ _ -> 0);
+                  outs = [ (id, 0, latency) ];
+                })
+            nodes
+      | Design.Module rm, nodes ->
+          List.iter
+            (fun id ->
+              let behavior =
+                match dfg.Dfg.nodes.(id).Dfg.kind with
+                | Dfg.Call b -> b
+                | _ -> invalid_arg "Sched: non-call node on module instance"
+              in
+              let p = module_profile ctx rm behavior in
+              add_job
+                {
+                  members = [ id ];
+                  inst = i;
+                  busy = max 1 p.busy;
+                  pipelined = false;
+                  needs = external_needs [ id ] (fun _ port -> p.in_need.(port));
+                  outs =
+                    List.init dfg.Dfg.nodes.(id).Dfg.n_out (fun j -> (id, j, p.out_ready.(j)));
+                })
+            nodes)
+    d.Design.insts;
+  Array.of_list (List.rev !jobs)
+
+and schedule ctx (cs : constraints) (d : Design.t) =
+  let dfg = d.Design.dfg in
+  let n_nodes = Array.length dfg.Dfg.nodes in
+  let nv = Design.n_values dfg in
+  let jobs = build_jobs ctx d in
+  let n_jobs = Array.length jobs in
+  let job_of_node = Array.make n_nodes (-1) in
+  Array.iteri (fun j job -> List.iter (fun id -> job_of_node.(id) <- j) job.members) jobs;
+  (* sanity: every op/call node must belong to a job *)
+  Array.iteri
+    (fun id (node : Dfg.node) ->
+      match node.Dfg.kind with
+      | Dfg.Op _ | Dfg.Call _ ->
+          if job_of_node.(id) < 0 then
+            invalid_arg (Printf.sprintf "Sched: node %s is unbound" node.Dfg.label)
+      | Dfg.Input | Dfg.Output | Dfg.Const _ | Dfg.Delay _ -> ())
+    dfg.Dfg.nodes;
+  let avail = Array.make nv (-1) in
+  Array.iteri
+    (fun pos input_id -> avail.(Design.value_index dfg { Dfg.node = input_id; out = 0 }) <- cs.input_arrival.(pos))
+    dfg.Dfg.inputs;
+  Array.iteri
+    (fun id (node : Dfg.node) ->
+      match node.Dfg.kind with
+      | Dfg.Const _ | Dfg.Delay _ -> avail.(Design.value_index dfg { Dfg.node = id; out = 0 }) <- 0
+      | Dfg.Input | Dfg.Output | Dfg.Op _ | Dfg.Call _ -> ())
+    dfg.Dfg.nodes;
+  (* priorities: longest path to sink over the job DAG *)
+  let succs = Array.make n_jobs [] in
+  let preds_remaining = Array.make n_jobs 0 in
+  Array.iteri
+    (fun j job ->
+      List.iter
+        (fun (({ Dfg.node = src; _ } : Dfg.port), _) ->
+          let pj = job_of_node.(src) in
+          if pj >= 0 && pj <> j then begin
+            succs.(pj) <- j :: succs.(pj);
+            preds_remaining.(j) <- preds_remaining.(j) + 1
+          end)
+        job.needs)
+    jobs;
+  (* Register serialization (the paper's "variables that need to be
+     stored in the [same] register" ordering edges): if values v1 then
+     v2 live in one register, v2 may only be written after v1's last
+     read. Writing order follows the producers' topological positions.
+     Constraints become anti-edges (pred job, gap): start ≥
+     start(pred) + gap; constraints from input arrivals become static
+     lower bounds in [base_est]. *)
+  let base_est = Array.make n_jobs 0 in
+  let anti_in = Array.make n_jobs [] in
+  let add_anti ~pred ~job ~gap =
+    if pred <> job then begin
+      anti_in.(job) <- (pred, gap) :: anti_in.(job);
+      succs.(pred) <- job :: succs.(pred);
+      preds_remaining.(job) <- preds_remaining.(job) + 1
+    end
+  in
+  let topo_pos =
+    let order = Dfg.topo_order dfg in
+    let pos = Array.make n_nodes 0 in
+    Array.iteri (fun idx id -> pos.(id) <- idx) order;
+    pos
+  in
+  let out_off_of j value =
+    let ({ Dfg.node; out } : Dfg.port) = Design.value_of_index dfg value in
+    let rec find = function
+      | [] -> 0
+      | (n, o, off) :: rest -> if n = node && o = out then off else find rest
+    in
+    find jobs.(j).outs
+  in
+  (* read times of a value, as (job reader, need offset) or a constant
+     cycle for output/delay consumers (their read = availability) *)
+  let readers_of value =
+    let p = Design.value_of_index dfg value in
+    let acc = ref [] in
+    Array.iteri
+      (fun dst (node : Dfg.node) ->
+        Array.iteri
+          (fun port src ->
+            if src = p then
+              match node.Dfg.kind with
+              | Dfg.Output | Dfg.Delay _ -> acc := `At_avail :: !acc
+              | _ ->
+                  let j = job_of_node.(dst) in
+                  if j >= 0 then begin
+                    let need =
+                      List.fold_left
+                        (fun found (q, n) -> if q = p && n > found then n else found)
+                        0 jobs.(j).needs
+                    in
+                    ignore port;
+                    acc := `Reader (j, need) :: !acc
+                  end)
+          node.Dfg.ins)
+      dfg.Dfg.nodes;
+    !acc
+  in
+  for r = 0 to d.Design.n_regs - 1 do
+    let values =
+      Design.values_in_reg d r
+      |> List.sort (fun a b ->
+             let pa = (Design.value_of_index dfg a).Dfg.node in
+             let pb = (Design.value_of_index dfg b).Dfg.node in
+             compare (topo_pos.(pa), a) (topo_pos.(pb), b))
+    in
+    let rec pairs = function
+      | v1 :: (v2 :: _ as rest) ->
+          let writer2 =
+            let ({ Dfg.node; _ } : Dfg.port) = Design.value_of_index dfg v2 in
+            job_of_node.(node)
+          in
+          let off2 = if writer2 >= 0 then out_off_of writer2 v2 else 0 in
+          if writer2 >= 0 then
+            List.iter
+              (fun reader ->
+                match reader with
+                | `Reader (j, need) -> add_anti ~pred:j ~job:writer2 ~gap:(need + 1 - off2)
+                | `At_avail -> (
+                    let ({ Dfg.node = p1; _ } : Dfg.port) = Design.value_of_index dfg v1 in
+                    let j1 = job_of_node.(p1) in
+                    if j1 >= 0 then
+                      add_anti ~pred:j1 ~job:writer2 ~gap:(out_off_of j1 v1 + 1 - off2)
+                    else
+                      (* v1 is an input/const/delay value: its read
+                         time equals its fixed availability *)
+                      base_est.(writer2) <-
+                        max base_est.(writer2) (avail.(v1) + 1 - off2)))
+              (readers_of v1)
+          else ();
+          (* a value with no producing job (input) preceding another:
+             readers of v1 still constrain writer2 — handled above;
+             the symmetric case of v2 being an input cannot happen
+             because inputs are written at arrival, before any job
+             output in topological position *)
+          pairs rest
+      | _ -> []
+    in
+    ignore (pairs values)
+  done;
+  let weight job = List.fold_left (fun acc (_, _, off) -> max acc off) job.busy job.outs in
+  let prio = Array.make n_jobs 0 in
+  (* reverse topological order via Kahn on the reversed DAG *)
+  let order =
+    let indeg = Array.copy preds_remaining in
+    let q = Queue.create () in
+    Array.iteri (fun j c -> if c = 0 then Queue.add j q) indeg;
+    let out = ref [] in
+    while not (Queue.is_empty q) do
+      let j = Queue.pop q in
+      out := j :: !out;
+      List.iter
+        (fun s ->
+          indeg.(s) <- indeg.(s) - 1;
+          if indeg.(s) = 0 then Queue.add s q)
+        succs.(j)
+    done;
+    !out (* reverse topological order *)
+  in
+  List.iter
+    (fun j ->
+      let best_succ = List.fold_left (fun acc s -> max acc prio.(s)) 0 succs.(j) in
+      prio.(j) <- weight jobs.(j) + best_succ)
+    order;
+  (* list scheduling, time stepped *)
+  let start_of_job = Array.make n_jobs (-1) in
+  let est = Array.make n_jobs (-1) in
+  let free_from = Array.make (Array.length d.Design.insts) 0 in
+  let compute_est j =
+    let data =
+      List.fold_left
+        (fun acc (p, need) ->
+          let a = avail.(Design.value_index dfg p) in
+          assert (a >= 0);
+          max acc (a - need))
+        base_est.(j) jobs.(j).needs
+    in
+    List.fold_left
+      (fun acc (pred, gap) ->
+        assert (start_of_job.(pred) >= 0);
+        max acc (start_of_job.(pred) + gap))
+      data anti_in.(j)
+  in
+  Array.iteri (fun j c -> if c = 0 then est.(j) <- compute_est j) preds_remaining;
+  let unscheduled = ref n_jobs in
+  let total_busy = Array.fold_left (fun acc job -> acc + job.busy) 0 jobs in
+  let max_arrival = Array.fold_left max 0 cs.input_arrival in
+  let max_base = Array.fold_left max 0 base_est in
+  let bound = total_busy + max_arrival + max_base + (3 * n_jobs) + 4 in
+  let t = ref 0 in
+  while !unscheduled > 0 && !t <= bound do
+    let rec fire () =
+      (* best startable pending job at time !t *)
+      let best = ref (-1) in
+      for j = 0 to n_jobs - 1 do
+        if start_of_job.(j) < 0 && est.(j) >= 0 && est.(j) <= !t && free_from.(jobs.(j).inst) <= !t
+        then if !best < 0 || prio.(j) > prio.(!best) then best := j
+      done;
+      if !best >= 0 then begin
+        let j = !best in
+        let job = jobs.(j) in
+        start_of_job.(j) <- !t;
+        decr unscheduled;
+        free_from.(job.inst) <- !t + (if job.pipelined then 1 else job.busy);
+        List.iter
+          (fun (node, out, off) -> avail.(Design.value_index dfg { Dfg.node; out }) <- !t + off)
+          job.outs;
+        List.iter
+          (fun s ->
+            preds_remaining.(s) <- preds_remaining.(s) - 1;
+            if preds_remaining.(s) = 0 then est.(s) <- compute_est s)
+          succs.(j);
+        fire ()
+      end
+    in
+    fire ();
+    incr t
+  done;
+  if !unscheduled > 0 then
+    (* ordering constraints (register serialization vs data order)
+       deadlocked: the design point is simply not schedulable *)
+    { start = Array.make n_nodes (-1); avail; makespan = bound; feasible = false }
+  else begin
+  let start = Array.make n_nodes (-1) in
+  Array.iteri (fun j job -> List.iter (fun id -> start.(id) <- start_of_job.(j)) job.members) jobs;
+  let makespan = ref 0 in
+  Array.iteri
+    (fun j job ->
+      makespan := max !makespan (start_of_job.(j) + weight job))
+    jobs;
+  let consume_time id =
+    let src = dfg.Dfg.nodes.(id).Dfg.ins.(0) in
+    avail.(Design.value_index dfg src)
+  in
+  Array.iteri
+    (fun id (node : Dfg.node) ->
+      match node.Dfg.kind with
+      | Dfg.Output | Dfg.Delay _ -> makespan := max !makespan (consume_time id)
+      | Dfg.Input | Dfg.Const _ | Dfg.Op _ | Dfg.Call _ -> ())
+    dfg.Dfg.nodes;
+  let outputs_ok =
+    match cs.output_deadline with
+    | None -> true
+    | Some deadlines ->
+        Array.for_all2 (fun output_id dl -> consume_time output_id <= dl) dfg.Dfg.outputs deadlines
+  in
+  let feasible = !makespan <= cs.deadline && outputs_ok in
+  { start; avail; makespan = !makespan; feasible }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* ALAP (infinite resources) *)
+
+let alap_start ctx ~deadline (d : Design.t) =
+  let dfg = d.Design.dfg in
+  let n_nodes = Array.length dfg.Dfg.nodes in
+  let jobs = build_jobs ctx d in
+  let n_jobs = Array.length jobs in
+  let job_of_node = Array.make n_nodes (-1) in
+  Array.iteri (fun j job -> List.iter (fun id -> job_of_node.(id) <- j) job.members) jobs;
+  let nv = Design.n_values dfg in
+  (* latest time each value may become available *)
+  let latest_avail = Array.make nv deadline in
+  let job_latest = Array.make n_jobs deadline in
+  (* consumer constraints, processed in reverse topological node order *)
+  let order = Dfg.topo_order dfg in
+  let tighten_value p t =
+    let v = Design.value_index dfg p in
+    if t < latest_avail.(v) then latest_avail.(v) <- t
+  in
+  Array.iter
+    (fun id ->
+      let node = dfg.Dfg.nodes.(id) in
+      match node.Dfg.kind with
+      | Dfg.Output | Dfg.Delay _ -> tighten_value node.Dfg.ins.(0) deadline
+      | Dfg.Input | Dfg.Const _ | Dfg.Op _ | Dfg.Call _ -> ())
+    order;
+  (* walk jobs in reverse dependence order: node topo order reversed *)
+  let rev = Array.of_list (List.rev (Array.to_list order)) in
+  Array.iter
+    (fun id ->
+      let j = job_of_node.(id) in
+      if j >= 0 then begin
+        let job = jobs.(j) in
+        let latest =
+          List.fold_left
+            (fun acc (node, out, off) ->
+              min acc (latest_avail.(Design.value_index dfg { Dfg.node; out }) - off))
+            deadline job.outs
+        in
+        if latest < job_latest.(j) then job_latest.(j) <- latest;
+        List.iter
+          (fun (p, need) -> tighten_value p (job_latest.(j) + need))
+          job.needs
+      end)
+    rev;
+  let result = Array.make n_nodes (-1) in
+  Array.iteri
+    (fun j job -> List.iter (fun id -> result.(id) <- max 0 job_latest.(j)) job.members)
+    jobs;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Minimum sampling period *)
+
+let critical_path_ns lib (dfg : Dfg.t) =
+  if Dfg.n_calls dfg > 0 then invalid_arg "Sched.critical_path_ns: graph must be flat";
+  let order = Dfg.topo_order dfg in
+  let n = Array.length dfg.Dfg.nodes in
+  let finish = Array.make n 0. in
+  let longest = ref 0. in
+  Array.iter
+    (fun id ->
+      let node = dfg.Dfg.nodes.(id) in
+      let in_ready =
+        Array.fold_left
+          (fun acc ({ Dfg.node = src; _ } : Dfg.port) ->
+            match dfg.Dfg.nodes.(src).Dfg.kind with
+            | Dfg.Delay _ -> acc (* previous-sample value, ready at 0 *)
+            | _ -> Float.max acc finish.(src))
+          0. node.Dfg.ins
+      in
+      let d =
+        match node.Dfg.kind with
+        | Dfg.Op op -> Hsyn_modlib.Library.min_op_delay_ns lib op
+        | Dfg.Input | Dfg.Output | Dfg.Const _ | Dfg.Delay _ -> 0.
+        | Dfg.Call _ -> assert false
+      in
+      finish.(id) <- in_ready +. d;
+      longest := Float.max !longest finish.(id))
+    order;
+  Float.max !longest 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let pp_schedule fmt ((d : Design.t), sch) =
+  let dfg = d.Design.dfg in
+  Format.fprintf fmt "@[<v>schedule for %s (makespan %d%s):@," dfg.Dfg.name sch.makespan
+    (if sch.feasible then "" else ", INFEASIBLE");
+  for t = 0 to sch.makespan do
+    let here =
+      Array.to_list dfg.Dfg.nodes
+      |> List.mapi (fun id node -> (id, node))
+      |> List.filter (fun (id, _) -> sch.start.(id) = t)
+      |> List.map (fun (id, (node : Dfg.node)) ->
+             Printf.sprintf "%s@I%d" node.Dfg.label d.Design.node_inst.(id))
+    in
+    if here <> [] then Format.fprintf fmt "  cycle %2d: %s@," t (String.concat " " here)
+  done;
+  Format.fprintf fmt "@]"

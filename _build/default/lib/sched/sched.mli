@@ -1,0 +1,76 @@
+(** Scheduling of bound designs, and the timing analyses built on it.
+
+    Given a design (binding of DFG nodes to instances) and a technology
+    context, the scheduler assigns a start cycle to every job so that
+    data dependences, per-instance serialization, chaining-unit
+    grouping, multicycle latencies, pipelined initiation intervals and
+    hierarchical-module profiles are all respected, using list
+    scheduling with longest-path-to-sink priorities. The paper uses
+    the scheduler as the validity oracle for every move ("when a move
+    is performed, its validity is checked by scheduling"); this module
+    is that oracle.
+
+    Timing quantities follow the paper's Example 1: an RTL module's
+    {e profile} records when each input is expected and each output
+    produced relative to the module's own start; when inputs arrive at
+    times aᵢ the module starts at max(aᵢ − inᵢ) and output j appears
+    at start + outⱼ. *)
+
+module Dfg = Hsyn_dfg.Dfg
+module Design = Hsyn_rtl.Design
+
+type profile = {
+  in_need : int array;  (** cycle each input is first consumed, relative to module start *)
+  out_ready : int array;  (** cycle each output is produced, relative to module start *)
+  busy : int;  (** cycles the module is occupied per activation *)
+}
+
+type constraints = {
+  input_arrival : int array;
+      (** arrival cycle of each primary input (all zero for top-level
+          synthesis; nonzero when resynthesizing a module under its
+          environment) *)
+  output_deadline : int array option;
+      (** per-output latest availability, if constrained *)
+  deadline : int;  (** sampling period in cycles *)
+}
+
+val relaxed : deadline:int -> Dfg.t -> constraints
+(** All inputs at 0, no per-output deadlines, the given sampling
+    period. *)
+
+type schedule = {
+  start : int array;  (** per node; -1 for nodes that execute nothing *)
+  avail : int array;  (** per value id: cycle the value becomes available *)
+  makespan : int;  (** last activity (job end, delay write, output consume) *)
+  feasible : bool;  (** deadline and per-output deadlines met *)
+}
+
+val module_profile : Design.ctx -> Design.rtl_module -> string -> profile
+(** Profile of a module for one behavior, derived by scheduling the
+    corresponding part with all inputs at 0 (recursively through
+    nested modules). *)
+
+val schedule : Design.ctx -> constraints -> Design.t -> schedule
+(** List-schedule the design. Always returns a schedule; check
+    [feasible] for constraint satisfaction.
+    @raise Invalid_argument if the binding is structurally unusable
+    (e.g. an unbound operation). *)
+
+val alap_start : Design.ctx -> deadline:int -> Design.t -> int array
+(** Latest start time of each node under infinite resources — an
+    optimistic slack bound used to derive relaxed constraints for
+    moves of type B; moves are re-validated by {!schedule}. [-1]
+    for non-executing nodes. *)
+
+val critical_path_ns : Hsyn_modlib.Library.t -> Dfg.t -> float
+(** Lower bound on the sampling period in ns at 5 V: dependence-only
+    longest path of the flattened behavior with every operation on its
+    fastest library unit, each operation rounded up to one clock-free
+    ns duration. Used to define the paper's laxity factor
+    (L.F. = sampling period / minimum sampling period). The graph must
+    be flat. *)
+
+val pp_schedule : Format.formatter -> Design.t * schedule -> unit
+(** Gantt-style dump: per cycle, the jobs starting there (regenerates
+    Figure 1(b)). *)

@@ -1,0 +1,28 @@
+let word_width = 16
+
+let mask w = (1 lsl w) - 1
+
+let truncate v = v land mask word_width
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
+
+let hamming a b = popcount (truncate a lxor truncate b)
+
+let to_signed v =
+  let v = truncate v in
+  if v land (1 lsl (word_width - 1)) <> 0 then v - (1 lsl word_width) else v
+
+let activity = function
+  | [] | [ _ ] -> 0.
+  | first :: rest ->
+      let transitions = ref 0 and total = ref 0 in
+      let prev = ref first in
+      let step v =
+        total := !total + hamming !prev v;
+        incr transitions;
+        prev := v
+      in
+      List.iter step rest;
+      Float.of_int !total /. Float.of_int (!transitions * word_width)

@@ -1,0 +1,31 @@
+(** Bit-level helpers for the switched-capacitance power model.
+
+    Datapath values are fixed-width two's-complement words stored in
+    OCaml ints; the power estimator charges energy proportional to the
+    Hamming distance between consecutive values on the same resource
+    port. *)
+
+val word_width : int
+(** Width, in bits, of all datapath words (16). *)
+
+val mask : int -> int
+(** [mask w] is a word with the low [w] bits set. *)
+
+val truncate : int -> int
+(** Wrap a value into [word_width] bits (two's complement). *)
+
+val popcount : int -> int
+(** Number of set bits of a non-negative int (up to 62 bits). *)
+
+val hamming : int -> int -> int
+(** [hamming a b] is the number of differing bits between the
+    [word_width]-bit truncations of [a] and [b]. *)
+
+val to_signed : int -> int
+(** Interpret a [word_width]-bit word as a signed integer. *)
+
+val activity : int list -> float
+(** Average per-transition Hamming activity, normalized to
+    [word_width], of a sequence of words; [0.] for sequences shorter
+    than two. A stream of identical values has activity 0; a stream of
+    independent random words approaches 0.5. *)

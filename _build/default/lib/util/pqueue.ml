@@ -1,0 +1,88 @@
+(* Binary min-heap over (key, seq, value); seq is a monotone insertion
+   counter so equal keys pop in insertion order. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q =
+  let cap = max 8 (2 * Array.length q.data) in
+  let data = Array.make cap q.data.(0) in
+  Array.blit q.data 0 data 0 q.size;
+  q.data <- data
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.data.(i) q.data.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
+  if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let add q ~key value =
+  let entry = { key; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = Array.length q.data then
+    if q.size = 0 then q.data <- Array.make 8 entry else grow q;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).key, q.data.(0).value)
+
+let clear q =
+  q.size <- 0;
+  q.next_seq <- 0
+
+let of_list l =
+  let q = create () in
+  List.iter (fun (key, v) -> add q ~key v) l;
+  q
+
+let to_sorted_list q =
+  if q.size = 0 then []
+  else begin
+    let copy = { data = Array.sub q.data 0 q.size; size = q.size; next_seq = q.next_seq } in
+    let rec drain acc =
+      match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+    in
+    drain []
+  end

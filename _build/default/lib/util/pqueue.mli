@@ -1,0 +1,34 @@
+(** Mutable binary-heap priority queue with integer priorities.
+
+    Used by the list scheduler (ready queue keyed by priority) and by
+    greedy matching in RTL embedding. Lower keys pop first; ties break
+    on insertion order, which keeps the scheduler deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty queue. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add q ~key v] enqueues [v] with priority [key]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element, insertion order breaking
+    ties. [None] when empty. *)
+
+val peek : 'a t -> (int * 'a) option
+(** Like {!pop} without removing. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val of_list : (int * 'a) list -> 'a t
+(** Queue containing all [(key, value)] pairs of the list. *)
+
+val to_sorted_list : 'a t -> (int * 'a) list
+(** Drain a copy of the queue in pop order; the queue is unchanged. *)

@@ -1,0 +1,26 @@
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. Float.of_int (List.length l)
+
+let geomean l =
+  match List.filter (fun x -> x > 0.) l with
+  | [] -> 0.
+  | pos ->
+      let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. pos in
+      exp (log_sum /. Float.of_int (List.length pos))
+
+let stddev = function
+  | [] -> 0.
+  | l ->
+      let m = mean l in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. l in
+      sqrt (sq /. Float.of_int (List.length l))
+
+let minimum = function [] -> 0. | x :: rest -> List.fold_left Float.min x rest
+let maximum = function [] -> 0. | x :: rest -> List.fold_left Float.max x rest
+
+let ratio num den = if den = 0. then 0. else num /. den
+
+let round_to digits x =
+  let factor = Float.of_int (int_of_float (10. ** Float.of_int digits)) in
+  Float.round (x *. factor) /. factor

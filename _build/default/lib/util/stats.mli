@@ -1,0 +1,20 @@
+(** Small numeric summaries used by the benchmark harness and power
+    estimator. All functions return [0.] on empty input rather than
+    raising, since experiment tables tolerate missing cells. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+(** Geometric mean of positive values; non-positive entries are
+    ignored. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val ratio : float -> float -> float
+(** [ratio num den] is [num /. den], or [0.] if [den = 0.]. *)
+
+val round_to : int -> float -> float
+(** [round_to digits x] rounds to [digits] decimal places. *)

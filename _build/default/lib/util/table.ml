@@ -1,0 +1,41 @@
+type row = Cells of string list | Rule
+
+type t = { header : string list; mutable rows : row list (* reversed *) }
+
+let create ~header = { header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_rule t = t.rows <- Rule :: t.rows
+
+let cell_f ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc -> function Cells c -> max acc (List.length c) | Rule -> acc)
+      (List.length t.header) rows
+  in
+  let pad cells = cells @ List.init (ncols - List.length cells) (fun _ -> "") in
+  let all_cells = pad t.header :: List.filter_map (function Cells c -> Some (pad c) | Rule -> None) rows in
+  let widths = Array.make ncols 0 in
+  let measure cells = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells in
+  List.iter measure all_cells;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i c -> Buffer.add_string buf (Printf.sprintf "| %-*s " widths.(i) c))
+      (pad cells);
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  line t.header;
+  rule ();
+  List.iter (function Cells c -> line c | Rule -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

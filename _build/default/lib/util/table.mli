@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness, which must
+    print the paper's tables on stdout. Columns are sized to their
+    widest cell; the first row is treated as a header and separated by
+    a rule. *)
+
+type t
+
+val create : header:string list -> t
+(** Start a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Rows shorter than the header are padded with
+    empty cells; longer rows widen the table. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator at this position. *)
+
+val render : t -> string
+(** The formatted table, each line newline-terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Format a float cell ([digits] decimals, default 2). *)

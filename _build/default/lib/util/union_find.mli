@@ -1,0 +1,21 @@
+(** Classic union–find over dense integer ids, with path compression
+    and union by rank. Used to group mergeable resources when forming
+    module groups for moves of types A/B. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the class containing the element. *)
+
+val union : t -> int -> int -> unit
+(** Merge two classes (no-op if already joined). *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements share a class. *)
+
+val classes : t -> int list list
+(** All classes as lists of members, each list sorted ascending, the
+    list of classes sorted by smallest member. *)

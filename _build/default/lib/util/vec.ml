@@ -1,0 +1,41 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length v = v.size
+
+let check v i =
+  if i < 0 || i >= v.size then invalid_arg (Printf.sprintf "Vec: index %d out of bounds (size %d)" i v.size)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let push v x =
+  if v.size = Array.length v.data then begin
+    let cap = max 8 (2 * Array.length v.data) in
+    let data = Array.make cap x in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1;
+  v.size - 1
+
+let to_array v = Array.sub v.data 0 v.size
+let of_array a = { data = Array.copy a; size = Array.length a }
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let to_list v = Array.to_list (to_array v)

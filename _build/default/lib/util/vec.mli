@@ -1,0 +1,24 @@
+(** Growable arrays (OCaml 5.1 predates stdlib [Dynarray]). Used by
+    the DFG builder, which appends nodes and edges incrementally before
+    freezing the graph into plain arrays. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : 'a t -> 'a -> int
+(** Append an element; returns its index. *)
+
+val to_array : 'a t -> 'a array
+(** Snapshot of current contents. *)
+
+val of_array : 'a array -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

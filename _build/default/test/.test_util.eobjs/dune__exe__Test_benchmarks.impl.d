@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Buffer Hsyn_benchmarks Hsyn_dfg Hsyn_eval List Printf Tu

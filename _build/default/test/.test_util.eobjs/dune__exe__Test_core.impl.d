@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Format Hsyn_benchmarks Hsyn_core Hsyn_dfg Hsyn_modlib Hsyn_rtl Hsyn_sched Hsyn_util List Printf String Tu

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Buffer Fun Hsyn_dfg List QCheck QCheck_alcotest Tu

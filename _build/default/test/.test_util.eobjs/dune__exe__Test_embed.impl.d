@@ -1,0 +1,1 @@
+test/test_embed.ml: Alcotest Array Float Format Hsyn_dfg Hsyn_embed Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched List String Tu

@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Array Hsyn_benchmarks Hsyn_core Hsyn_dfg Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched List Tu

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Format Hsyn_dfg Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched Hsyn_util List QCheck QCheck_alcotest String Tu

@@ -1,0 +1,1 @@
+test/test_modlib.ml: Alcotest Float Hsyn_dfg Hsyn_modlib List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Hsyn_dfg Hsyn_modlib Hsyn_rtl List Tu

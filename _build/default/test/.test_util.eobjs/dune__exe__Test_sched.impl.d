@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Format Hashtbl Hsyn_dfg Hsyn_modlib Hsyn_rtl Hsyn_sched List QCheck QCheck_alcotest String Tu

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Array Filename Hsyn_dfg List String Sys

@@ -1,0 +1,1 @@
+test/tu.ml: Array Hashtbl Hsyn_core Hsyn_dfg Hsyn_eval Hsyn_modlib Hsyn_rtl Hsyn_sched Hsyn_util List Printf

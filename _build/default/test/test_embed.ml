@@ -1,0 +1,174 @@
+(* Tests for RTL embedding: component matching, behavior union,
+   area economics, schedule preservation (the paper's Example 3). *)
+
+module Design = Hsyn_rtl.Design
+module Dfg = Hsyn_dfg.Dfg
+module Op = Hsyn_dfg.Op
+module B = Hsyn_dfg.Dfg.Builder
+module Library = Hsyn_modlib.Library
+module Fu = Hsyn_modlib.Fu
+module Sched = Hsyn_sched.Sched
+module Area = Hsyn_eval.Area
+module Embed = Hsyn_embed.Embed
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let ctx = Tu.ctx ()
+let lib = Library.default
+
+(* RTL1 implements a·b + c·d; RTL2 implements (a+b)·(c−d). They use
+   overlapping resource kinds (2 mult + 1 add vs 1 mult + 1 add +
+   1 sub), the shape of the paper's Figure 3. *)
+let rtl1 () =
+  let b = B.create "dfg_dp" in
+  let a = B.input b "a" and x = B.input b "b" in
+  let c = B.input b "c" and d = B.input b "d" in
+  let m1 = B.op b ~label:"M1" Op.Mult [ a; x ] in
+  let m2 = B.op b ~label:"M2" Op.Mult [ c; d ] in
+  B.output b (B.op b ~label:"A1" Op.Add [ m1; m2 ]);
+  let g = B.finish b in
+  { Design.rm_name = "RTL1"; parts = [ ("dotprod", Tu.initial ctx g) ] }
+
+let rtl2 () =
+  let b = B.create "dfg_pm" in
+  let a = B.input b "a" and x = B.input b "b" in
+  let c = B.input b "c" and d = B.input b "d" in
+  let s = B.op b ~label:"A2" Op.Add [ a; x ] in
+  let t = B.op b ~label:"S1" Op.Sub [ c; d ] in
+  B.output b (B.op b ~label:"M3" Op.Mult [ s; t ]);
+  let g = B.finish b in
+  { Design.rm_name = "RTL2"; parts = [ ("prodmix", Tu.initial ctx g) ] }
+
+let merge () =
+  match Embed.merge_modules ctx ~name:"NewRTL" (rtl1 ()) (rtl2 ()) with
+  | Some (m, corr) -> (m, corr)
+  | None -> Alcotest.fail "merge refused"
+
+let test_merged_behaviors () =
+  checkb "union" true
+    (Embed.merged_behaviors (rtl1 ()) (rtl2 ()) = Some [ "dotprod"; "prodmix" ]);
+  (* name collision refused *)
+  checkb "collision" true (Embed.merged_behaviors (rtl1 ()) (rtl1 ()) = None)
+
+let test_merge_shares_components () =
+  let m, _ = merge () in
+  let insts = (snd (List.hd m.Design.parts)).Design.insts in
+  (* left has {mult, mult, add}; right {add, sub, mult}: the right
+     mult and add reuse left components, only the sub is added *)
+  checki "4 merged components" 4 (Array.length insts);
+  checkb "both behaviors present" true
+    (Design.module_behaviors m = [ "dotprod"; "prodmix" ])
+
+let test_merge_parts_share_resources () =
+  let m, _ = merge () in
+  match m.Design.parts with
+  | [ (_, p1); (_, p2) ] ->
+      checkb "same insts" true (p1.Design.insts = p2.Design.insts);
+      checkb "same regs" true (p1.Design.n_regs = p2.Design.n_regs);
+      checkb "validates" true (Design.validate ctx { p1 with Design.dfg = p1.Design.dfg } = Ok ())
+  | _ -> Alcotest.fail "expected two parts"
+
+let test_merge_area_economics () =
+  (* Example 3's headline: area(NewRTL) < area(RTL1) + area(RTL2),
+     and >= max of the two *)
+  let left = rtl1 () and right = rtl2 () in
+  let m, _ = merge () in
+  let al = Area.module_area ctx left
+  and ar = Area.module_area ctx right
+  and am = Area.module_area ctx m in
+  checkb "merged smaller than sum" true (am < al +. ar);
+  checkb "merged at least the bigger part" true (am >= Float.max al ar *. 0.9)
+
+let test_merge_preserves_schedules () =
+  (* the constituents keep working: profiles of the merged module for
+     each behavior match the originals *)
+  let left = rtl1 () and right = rtl2 () in
+  let m, _ = merge () in
+  let p_left = Sched.module_profile ctx left "dotprod" in
+  let p_merged_left = Sched.module_profile ctx m "dotprod" in
+  checkb "left profile intact" true
+    (p_left.Sched.out_ready = p_merged_left.Sched.out_ready
+    && p_left.Sched.busy = p_merged_left.Sched.busy);
+  let p_right = Sched.module_profile ctx right "prodmix" in
+  let p_merged_right = Sched.module_profile ctx m "prodmix" in
+  checkb "right profile intact" true (p_right.Sched.out_ready = p_merged_right.Sched.out_ready)
+
+let test_merge_correspondence_total () =
+  let m, corr = merge () in
+  let insts = (snd (List.hd m.Design.parts)).Design.insts in
+  let n = Array.length insts in
+  Array.iter (fun i -> checkb "left maps in range" true (i >= 0 && i < n)) corr.Embed.left_inst;
+  Array.iter (fun i -> checkb "right maps in range" true (i >= 0 && i < n)) corr.Embed.right_inst;
+  (* right components map injectively *)
+  let sorted = Array.to_list corr.Embed.right_inst |> List.sort compare in
+  checkb "injective" true (List.sort_uniq compare sorted = sorted)
+
+let test_merge_upgrade_unit_type () =
+  (* a module using add1 merged with one using alu1: the shared
+     component must be the stronger alu1 *)
+  let weak =
+    let b = B.create "w" in
+    let x = B.input b "x" and y = B.input b "y" in
+    B.output b (B.op b ~label:"A" Op.Add [ x; y ]);
+    { Design.rm_name = "W"; parts = [ ("wsum", Tu.initial ctx (B.finish b)) ] }
+  in
+  let strong =
+    let b = B.create "s" in
+    let x = B.input b "x" and y = B.input b "y" in
+    B.output b (B.op b ~label:"Mx" Op.Max [ x; y ]);
+    let g = B.finish b in
+    let d = Tu.initial ctx g in
+    (* force the max onto alu1 *)
+    let i = Tu.inst_of d "Mx" in
+    let d = Design.with_inst d i (Design.Simple (Library.find_exn lib "alu1")) in
+    { Design.rm_name = "S"; parts = [ ("smax", d) ] }
+  in
+  match Embed.merge_modules ctx ~name:"WS" weak strong with
+  | None -> Alcotest.fail "merge refused"
+  | Some (m, _) ->
+      let insts = (snd (List.hd m.Design.parts)).Design.insts in
+      checki "single shared component" 1 (Array.length insts);
+      (match insts.(0) with
+      | Design.Simple fu -> checkb "upgraded to alu" true (fu.Fu.name = "alu1")
+      | Design.Module _ -> Alcotest.fail "unexpected module");
+      checkb "merged validates" true
+        (List.for_all (fun (_, p) -> Design.validate ctx p = Ok ()) m.Design.parts)
+
+let test_merge_incompatible_adds_component () =
+  (* multiplier-only module merged with adder-only module: nothing
+     shared, component count is the sum *)
+  let mk name label op =
+    let b = B.create name in
+    let x = B.input b "x" and y = B.input b "y" in
+    B.output b (B.op b ~label op [ x; y ]);
+    { Design.rm_name = name; parts = [ (name ^ "_b", Tu.initial ctx (B.finish b)) ] }
+  in
+  match Embed.merge_modules ctx ~name:"MM" (mk "onlymult" "m" Op.Mult) (mk "onlyadd" "a" Op.Add) with
+  | None -> Alcotest.fail "merge refused"
+  | Some (m, _) ->
+      let insts = (snd (List.hd m.Design.parts)).Design.insts in
+      checki "disjoint components" 2 (Array.length insts)
+
+let test_pp_correspondence_smoke () =
+  let left = rtl1 () and right = rtl2 () in
+  let m, corr = merge () in
+  let s = Format.asprintf "%a" Embed.pp_correspondence (left, right, m, corr) in
+  checkb "prints table" true (String.length s > 50)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "embed"
+    [
+      ( "embedding",
+        [
+          tc "merged behaviors" test_merged_behaviors;
+          tc "shares components" test_merge_shares_components;
+          tc "parts share resources" test_merge_parts_share_resources;
+          tc "area economics" test_merge_area_economics;
+          tc "preserves schedules" test_merge_preserves_schedules;
+          tc "correspondence total" test_merge_correspondence_total;
+          tc "upgrades unit type" test_merge_upgrade_unit_type;
+          tc "incompatible adds component" test_merge_incompatible_adds_component;
+          tc "pp smoke" test_pp_correspondence_smoke;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the module library: unit descriptors, voltage scaling,
+   clock candidates, Table 1 fidelity. *)
+
+module Fu = Hsyn_modlib.Fu
+module Library = Hsyn_modlib.Library
+module Voltage = Hsyn_modlib.Voltage
+module Clock = Hsyn_modlib.Clock
+module Op = Hsyn_dfg.Op
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+let lib = Library.default
+let find = Library.find_exn lib
+
+(* ------------------------------------------------------------------ *)
+(* Voltage *)
+
+let test_voltage_nominal_unity () = checkf "5V factor 1" 1.0 (Voltage.delay_factor Voltage.nominal)
+
+let test_voltage_monotone_delay () =
+  checkb "3.3 slower than 5" true (Voltage.delay_factor 3.3 > 1.0);
+  checkb "2.4 slower than 3.3" true (Voltage.delay_factor 2.4 > Voltage.delay_factor 3.3)
+
+let test_voltage_energy_quadratic () =
+  checkf "5V" 1.0 (Voltage.energy_factor 5.0);
+  checkf "2.5V quarter" 0.25 (Voltage.energy_factor 2.5)
+
+let test_voltage_below_threshold_rejected () =
+  Alcotest.check_raises "below vt" (Invalid_argument "Voltage.delay_factor: below threshold")
+    (fun () -> ignore (Voltage.delay_factor 0.5))
+
+let test_voltage_scale_delay () =
+  let d5 = 20.0 in
+  checkf "identity at 5V" 20.0 (Voltage.scale_delay 5.0 d5);
+  checkb "scaled at 3.3" true (Voltage.scale_delay 3.3 d5 > 30.0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 fidelity: delays in cycles at a 20 ns clock, 5 V *)
+
+let cycles name = Fu.cycles_at (find name) Voltage.nominal ~clk_ns:20.0
+
+let test_table1_cycles () =
+  checki "add1 = 1 cycle" 1 (cycles "add1");
+  checki "add2 = 2 cycles" 2 (cycles "add2");
+  checki "chained_add2 = 1 cycle" 1 (cycles "chained_add2");
+  checki "chained_add3 = 1 cycle" 1 (cycles "chained_add3");
+  checki "mult1 = 3 cycles" 3 (cycles "mult1");
+  checki "mult2 = 5 cycles" 5 (cycles "mult2")
+
+let test_table1_areas () =
+  let area name = (find name).Fu.area in
+  checkf "add1" 30. (area "add1");
+  checkf "add2" 20. (area "add2");
+  checkf "chained_add2" 60. (area "chained_add2");
+  checkf "chained_add3" 90. (area "chained_add3");
+  checkf "mult1" 150. (area "mult1");
+  checkf "mult2" 100. (area "mult2");
+  checkf "reg" 10. lib.Library.reg_area
+
+let test_mult2_lower_energy () =
+  (* the paper's key library fact: mult2 consumes much less power *)
+  checkb "mult2 cap < half of mult1" true
+    ((find "mult2").Fu.energy_cap < 0.5 *. (find "mult1").Fu.energy_cap)
+
+(* ------------------------------------------------------------------ *)
+(* Fu *)
+
+let test_fu_supports () =
+  checkb "add1 adds" true (Fu.supports (find "add1") Op.Add);
+  checkb "add1 no mult" false (Fu.supports (find "add1") Op.Mult);
+  checkb "alu multi-function" true
+    (Fu.supports (find "alu1") Op.Add && Fu.supports (find "alu1") Op.Sub
+    && Fu.supports (find "alu1") Op.Min);
+  checkb "chain supports its op" true (Fu.supports (find "chained_add2") Op.Add)
+
+let test_fu_chain_length () =
+  checki "plain" 1 (Fu.chain_length (find "add1"));
+  checki "chain2" 2 (Fu.chain_length (find "chained_add2"));
+  checki "chain3" 3 (Fu.chain_length (find "chained_add3"));
+  checkb "is_chain" true (Fu.is_chain (find "chained_add3"));
+  checkb "plain not chain" false (Fu.is_chain (find "mult1"))
+
+let test_fu_compatible () =
+  checkb "alu hosts add1's work" true (Fu.compatible (find "alu1") (find "add1"));
+  checkb "add1 cannot host alu work" false (Fu.compatible (find "add1") (find "alu1"));
+  checkb "same-kind chains compatible" true
+    (Fu.compatible (find "chained_add2") (find "chained_add2"));
+  checkb "chains of different length incompatible" false
+    (Fu.compatible (find "chained_add3") (find "chained_add2"));
+  checkb "chain/unit incompatible" false (Fu.compatible (find "chained_add2") (find "add1"))
+
+let test_fu_cycles_at_low_voltage () =
+  (* mult1: 55 ns at 5 V -> ~102.5 ns at 3.3 V -> 6 cycles of 20 ns *)
+  checki "mult1 slower at 3.3V" 6 (Fu.cycles_at (find "mult1") 3.3 ~clk_ns:20.0)
+
+let test_fu_pipelined_flag () =
+  checkb "mult_pipe pipelined" true (find "mult_pipe").Fu.pipelined;
+  checkb "mult1 not" false (find "mult1").Fu.pipelined
+
+(* ------------------------------------------------------------------ *)
+(* Library queries *)
+
+let test_units_for_sorted () =
+  match Library.units_for lib Op.Mult with
+  | first :: _ ->
+      (* fastest multiplier first *)
+      checkb "fastest first" true (first.Fu.delay_ns <= 55.0)
+  | [] -> Alcotest.fail "no multipliers"
+
+let test_units_for_excludes_chains () =
+  checkb "no chain units in units_for" true
+    (List.for_all (fun u -> not (Fu.is_chain u)) (Library.units_for lib Op.Add))
+
+let test_chains_for () =
+  checki "one chain2" 1 (List.length (Library.chains_for lib Op.Add 2));
+  checki "one chain3" 1 (List.length (Library.chains_for lib Op.Add 3));
+  checki "no mult chains" 0 (List.length (Library.chains_for lib Op.Mult 2))
+
+let test_fastest_for () =
+  checkb "fastest add is add1" true ((Library.fastest_for lib Op.Add).Fu.name = "add1");
+  checkb "fastest mult is mult1" true ((Library.fastest_for lib Op.Mult).Fu.name = "mult1")
+
+let test_alternatives () =
+  let alts = Library.alternatives lib (find "add1") in
+  checkb "add2 is an alternative" true (List.exists (fun u -> u.Fu.name = "add2") alts);
+  checkb "alu1 is an alternative" true (List.exists (fun u -> u.Fu.name = "alu1") alts);
+  checkb "self excluded" true (List.for_all (fun u -> u.Fu.name <> "add1") alts);
+  checkb "mult not an alternative" true (List.for_all (fun u -> u.Fu.name <> "mult1") alts)
+
+let test_find () =
+  checkb "find none" true (Library.find lib "nosuch" = None);
+  Alcotest.check_raises "find_exn raises" Not_found (fun () ->
+      ignore (Library.find_exn lib "nosuch"))
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock_candidates_descending () =
+  let c = Clock.candidates lib 5.0 in
+  checkb "nonempty" true (c <> []);
+  checkb "descending" true (List.sort (fun a b -> compare b a) c = c);
+  checkb "bounded" true (List.for_all (fun x -> x >= 5.0 && x <= 80.0) c)
+
+let test_clock_candidates_fit_units () =
+  (* every candidate derived from a delay d as d/k must execute that
+     unit in at most ... its ceiling; spot-check mult1 at 5 V *)
+  let c = Clock.candidates lib 5.0 in
+  List.iter
+    (fun clk ->
+      let cy = Fu.cycles_at (find "mult1") 5.0 ~clk_ns:clk in
+      checkb "cycles positive" true (cy >= 1))
+    c
+
+let test_clock_cycles_of_ns () =
+  checki "exact" 2 (Clock.cycles_of_ns ~clk_ns:10.0 20.0);
+  checki "round up" 3 (Clock.cycles_of_ns ~clk_ns:10.0 20.5);
+  checki "zero" 0 (Clock.cycles_of_ns ~clk_ns:10.0 0.0)
+
+let test_clock_spread () =
+  let l = [ 80.; 70.; 60.; 50.; 40.; 30.; 20.; 10. ] in
+  let s = Clock.spread 3 l in
+  checki "three" 3 (List.length s);
+  checkb "covers extremes" true (List.mem 80. s && List.mem 10. s);
+  checkb "short list unchanged" true (Clock.spread 5 [ 3.; 2. ] = [ 3.; 2. ])
+
+let prop_voltage_energy_monotone =
+  QCheck.Test.make ~name:"energy factor monotone in vdd" ~count:200
+    QCheck.(pair (float_range 1.0 5.0) (float_range 1.0 5.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Voltage.energy_factor lo <= Voltage.energy_factor hi +. 1e-12)
+
+let prop_cycles_monotone_in_clock =
+  QCheck.Test.make ~name:"unit cycles do not increase with longer clocks" ~count:200
+    QCheck.(pair (float_range 5.0 80.0) (float_range 5.0 80.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Fu.cycles_at (find "mult1") 5.0 ~clk_ns:hi <= Fu.cycles_at (find "mult1") 5.0 ~clk_ns:lo)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "modlib"
+    [
+      ( "voltage",
+        [
+          tc "nominal unity" test_voltage_nominal_unity;
+          tc "monotone delay" test_voltage_monotone_delay;
+          tc "energy quadratic" test_voltage_energy_quadratic;
+          tc "below threshold rejected" test_voltage_below_threshold_rejected;
+          tc "scale delay" test_voltage_scale_delay;
+          QCheck_alcotest.to_alcotest prop_voltage_energy_monotone;
+        ] );
+      ( "table1",
+        [
+          tc "cycles" test_table1_cycles;
+          tc "areas" test_table1_areas;
+          tc "mult2 lower energy" test_mult2_lower_energy;
+        ] );
+      ( "fu",
+        [
+          tc "supports" test_fu_supports;
+          tc "chain length" test_fu_chain_length;
+          tc "compatible" test_fu_compatible;
+          tc "cycles at low voltage" test_fu_cycles_at_low_voltage;
+          tc "pipelined flag" test_fu_pipelined_flag;
+          QCheck_alcotest.to_alcotest prop_cycles_monotone_in_clock;
+        ] );
+      ( "library",
+        [
+          tc "units_for sorted" test_units_for_sorted;
+          tc "units_for excludes chains" test_units_for_excludes_chains;
+          tc "chains_for" test_chains_for;
+          tc "fastest_for" test_fastest_for;
+          tc "alternatives" test_alternatives;
+          tc "find" test_find;
+        ] );
+      ( "clock",
+        [
+          tc "candidates descending" test_clock_candidates_descending;
+          tc "candidates fit units" test_clock_candidates_fit_units;
+          tc "cycles_of_ns" test_clock_cycles_of_ns;
+          tc "spread" test_clock_spread;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests for the textual DFG exchange format: parsing, printing,
+   round-tripping, error reporting. *)
+
+module Text = Hsyn_dfg.Text
+module Dfg = Hsyn_dfg.Dfg
+module Registry = Hsyn_dfg.Registry
+module Flatten = Hsyn_dfg.Flatten
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let example =
+  {|
+# a behavior with one variant
+behavior madd variant madd_v1
+  input p
+  input q
+  op m mult p q
+  output y m
+end
+
+dfg top
+  input x
+  input w
+  const k 3
+  op s add x w
+  delay z s init 1
+  call f madd 1 s z
+  op t add f.0 k
+  output o t
+end
+|}
+
+let test_parse_basic () =
+  let prog = Text.parse_string example in
+  checki "one graph" 1 (List.length prog.Text.graphs);
+  checkb "behavior registered" true (Registry.mem prog.Text.registry "madd");
+  let g = List.hd prog.Text.graphs in
+  checkb "name" true (g.Dfg.name = "top");
+  checki "inputs" 2 (Array.length g.Dfg.inputs);
+  checki "ops" 2 (Dfg.n_operations g);
+  checki "calls" 1 (Dfg.n_calls g);
+  checkb "validates" true (Dfg.validate g = Ok ());
+  checkb "calls resolve" true (Registry.check_calls prog.Text.registry g = Ok ())
+
+let test_roundtrip () =
+  let prog = Text.parse_string example in
+  let printed = Text.to_string prog in
+  let prog2 = Text.parse_string printed in
+  let g1 = List.hd prog.Text.graphs and g2 = List.hd prog2.Text.graphs in
+  checkb "graph preserved" true (Dfg.equal g1 g2);
+  checkb "behavior preserved" true
+    (Dfg.equal (Registry.default_variant prog.Text.registry "madd")
+       (Registry.default_variant prog2.Text.registry "madd"))
+
+let test_delay_forward_reference () =
+  (* the delay references a node defined later in the block *)
+  let src = {|
+dfg fwd
+  input x
+  delay z later
+  op later add x z
+  output o later
+end
+|} in
+  let prog = Text.parse_string src in
+  let g = List.hd prog.Text.graphs in
+  checkb "valid" true (Dfg.validate g = Ok ())
+
+let expect_error src =
+  match Text.parse_string src with
+  | exception Text.Parse_error (_, _) -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_errors () =
+  expect_error "dfg a\n  op x bogus y z\nend";
+  expect_error "dfg a\n  input x\n  output o nosuch\nend";
+  expect_error "dfg a\n  input x\n";
+  (* missing end *)
+  expect_error "  input x\n";
+  (* statement outside block *)
+  expect_error "dfg a\n  input x\n  input x\nend";
+  (* duplicate label *)
+  expect_error "dfg a\ndfg b\nend\nend"
+
+let test_error_line_numbers () =
+  match Text.parse_string "dfg a\n  input x\n  op m mult x nosuch\nend" with
+  | exception Text.Parse_error (line, _) -> checki "line" 3 line
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_comments_and_blanks () =
+  let src = "# leading comment\n\ndfg g # trailing\n  input x\n  output y x\nend\n" in
+  let prog = Text.parse_string src in
+  checki "parsed" 1 (List.length prog.Text.graphs)
+
+let test_call_multi_output () =
+  let src =
+    {|
+behavior split variant split_v
+  input a
+  input b
+  op s add a b
+  op d sub a b
+  output o1 s
+  output o2 d
+end
+
+dfg top
+  input x
+  input y
+  call c split 2 x y
+  op m mult c.0 c.1
+  output o m
+end
+|}
+  in
+  let prog = Text.parse_string src in
+  let g = List.hd prog.Text.graphs in
+  checkb "valid" true (Dfg.validate g = Ok ());
+  (* flatten through the registry to check connectivity of out port 1 *)
+  let flat = Flatten.flatten prog.Text.registry g in
+  checki "ops" 3 (Dfg.n_operations flat)
+
+let test_to_dot () =
+  let prog = Text.parse_string example in
+  let dot = Text.to_dot (List.hd prog.Text.graphs) in
+  checkb "has digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let test_parse_file () =
+  let path = Filename.temp_file "hsyn" ".dfg" in
+  let oc = open_out path in
+  output_string oc example;
+  close_out oc;
+  let prog = Text.parse_file path in
+  Sys.remove path;
+  checki "one graph" 1 (List.length prog.Text.graphs)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "text"
+    [
+      ( "parse",
+        [
+          tc "basic" test_parse_basic;
+          tc "delay forward reference" test_delay_forward_reference;
+          tc "errors" test_errors;
+          tc "error line numbers" test_error_line_numbers;
+          tc "comments and blanks" test_comments_and_blanks;
+          tc "call multi-output" test_call_multi_output;
+          tc "from file" test_parse_file;
+        ] );
+      ("print", [ tc "roundtrip" test_roundtrip; tc "to_dot" test_to_dot ]);
+    ]
