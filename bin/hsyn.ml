@@ -19,6 +19,7 @@ module Area = Hsyn_eval.Area
 module Fsm = Hsyn_eval.Fsm
 module Cost = Hsyn_core.Cost
 module Clib = Hsyn_core.Clib
+module Engine = Hsyn_core.Engine
 module S = Hsyn_core.Synthesize
 module Suite = Hsyn_benchmarks.Suite
 open Cmdliner
@@ -49,7 +50,7 @@ let load_input bench file dfg_name =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let do_synth bench file dfg_name objective lf sampling mode seed show_rtl show_fsm show_sched show_verilog =
+let do_synth bench file dfg_name objective lf sampling mode seed jobs show_stats show_rtl show_fsm show_sched show_verilog =
   match load_input bench file dfg_name with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
@@ -61,7 +62,19 @@ let do_synth bench file dfg_name objective lf sampling mode seed show_rtl show_f
       in
       let min_ns = S.min_sampling_ns lib registry dfg in
       let sampling_ns = match sampling with Some ns -> ns | None -> lf *. min_ns in
-      let config = { S.default_config with S.seed } in
+      let policy =
+        match jobs with
+        | Some j -> { Engine.default_policy with Engine.jobs = max 1 j }
+        | None -> Engine.default_policy
+      in
+      let config =
+        {
+          S.default_config with
+          S.seed;
+          engine = policy;
+          clib_effort = { Clib.default_effort with Clib.engine = policy };
+        }
+      in
       let run = if mode = "flat" then S.run_flat else S.run in
       Printf.printf "behavior %s: %d operations after flattening, minimum sampling %.1f ns\n"
         dfg.Dfg.name
@@ -83,6 +96,15 @@ let do_synth bench file dfg_name objective lf sampling mode seed show_rtl show_f
           Printf.printf "  power         : %.3f\n" r.S.eval.Cost.power;
           Printf.printf "  synthesis time: %.2f s (%d contexts, %d moves)\n" r.S.elapsed_s
             r.S.contexts_tried r.S.stats.Hsyn_core.Pass.moves_committed;
+          if show_stats then begin
+            Printf.printf "\nevaluation engine (jobs %d, cache %d, staging %s):\n"
+              policy.Engine.jobs policy.Engine.cache_capacity
+              (if policy.Engine.staged then "on" else "off");
+            Format.printf "  total        %a@." Engine.pp_counters (Engine.global_counters ());
+            List.iter
+              (fun (fam, c) -> Format.printf "  %-12s %a@." fam Engine.pp_counters c)
+              (Engine.global_family_counters ())
+          end;
           if show_rtl then Format.printf "@.%a@." Design.pp r.S.design;
           let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
           let sch = Sched.schedule r.S.ctx cs r.S.design in
@@ -113,6 +135,20 @@ let mode_arg =
   Arg.(value & opt string "hier" & info [ "m"; "mode" ] ~docv:"hier|flat" ~doc:"Hierarchical synthesis or the flattened baseline.")
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Trace RNG seed.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluation worker domains (default: $(b,HSYN_JOBS) or 1). Results are identical for \
+           every N.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print evaluation-engine statistics (cache, staging, parallelism).")
 let rtl_flag = Arg.(value & flag & info [ "rtl" ] ~doc:"Dump the RTL structure of the result.")
 let fsm_flag = Arg.(value & flag & info [ "fsm" ] ~doc:"Dump the controller FSM of the result.")
 let sched_flag = Arg.(value & flag & info [ "sched" ] ~doc:"Dump the schedule of the result.")
@@ -125,7 +161,8 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
-      $ mode_arg $ seed_arg $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
+      $ mode_arg $ seed_arg $ jobs_arg $ stats_flag $ rtl_flag $ fsm_flag $ sched_flag
+      $ verilog_flag)
 
 (* ------------------------------------------------------------------ *)
 (* list / library / dump / dot *)

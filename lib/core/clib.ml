@@ -12,9 +12,17 @@ type effort = {
   max_passes : int;
   max_candidates : int;
   trace : int array list -> int array list;
+  engine : Engine.policy;
 }
 
-let default_effort = { max_moves = 6; max_passes = 2; max_candidates = 24; trace = Fun.id }
+let default_effort =
+  {
+    max_moves = 6;
+    max_passes = 2;
+    max_candidates = 24;
+    trace = Fun.id;
+    engine = Engine.default_policy;
+  }
 
 let lookup (t : t) behavior = match Hashtbl.find_opt t behavior with Some l -> l | None -> []
 
@@ -51,6 +59,9 @@ let synthesize_variant ctx registry clib ~rng ~trace_length ~effort behavior (va
   let optimize objective deadline =
     let sampling_ns = Float.of_int deadline *. ctx.Design.clk_ns in
     let cs = { relaxed with Sched.deadline } in
+    let engine =
+      Engine.create ~policy:effort.engine ~ctx ~cs ~sampling_ns ~trace ~objective ()
+    in
     let env =
       {
         Moves.ctx;
@@ -58,6 +69,7 @@ let synthesize_variant ctx registry clib ~rng ~trace_length ~effort behavior (va
         sampling_ns;
         trace;
         objective;
+        engine;
         registry;
         complexes;
         resynth = None;

@@ -21,6 +21,7 @@ type effort = {
   max_candidates : int;
   trace : int array list -> int array list;
       (** trims/extends the caller trace; identity by default *)
+  engine : Engine.policy;  (** evaluation-engine policy for library synthesis *)
 }
 
 val default_effort : effort

@@ -21,17 +21,38 @@ type eval = {
   feasible : bool;
 }
 
-let evaluate ?(with_power = true) ctx cs ~sampling_ns ~trace design =
+(* Evaluation is split into two stages so the engine can memoize and
+   skip independently: [schedule_stage] (scheduling feasibility and
+   area) always runs; [power_stage] (the trace simulation) is the
+   expensive part and composes on top. [evaluate] is exactly their
+   composition, which is what makes staged engine results bit-identical
+   to direct evaluation. *)
+
+let schedule_stage ctx cs design =
   let sch = Sched.schedule ctx cs design in
   let area = Area.grand_total (Area.total ctx design ~n_states:(max 1 sch.Sched.makespan)) in
-  let energy_sample, power =
-    if with_power && sch.Sched.feasible then begin
-      let e = Power.energy_per_sample ctx cs design trace in
-      (e, e *. Voltage.energy_factor ctx.Design.vdd /. sampling_ns *. 1000.)
-    end
-    else (Float.nan, Float.nan)
-  in
-  { area; power; energy_sample; makespan = sch.Sched.makespan; feasible = sch.Sched.feasible }
+  {
+    area;
+    power = Float.nan;
+    energy_sample = Float.nan;
+    makespan = sch.Sched.makespan;
+    feasible = sch.Sched.feasible;
+  }
+
+let power_stage ctx cs ~sampling_ns ~trace design partial =
+  if not partial.feasible then partial
+  else begin
+    let e = Power.energy_per_sample ctx cs design trace in
+    {
+      partial with
+      energy_sample = e;
+      power = e *. Voltage.energy_factor ctx.Design.vdd /. sampling_ns *. 1000.;
+    }
+  end
+
+let evaluate ?(with_power = true) ctx cs ~sampling_ns ~trace design =
+  let partial = schedule_stage ctx cs design in
+  if with_power then power_stage ctx cs ~sampling_ns ~trace design partial else partial
 
 (* In power mode a small area term breaks ties among equal-power
    candidates toward compact designs; it keeps the power optimizer's
@@ -45,3 +66,13 @@ let objective_value obj e =
     match obj with
     | Area -> e.area
     | Power -> if Float.is_nan e.power then infinity else e.power +. (area_tiebreak *. e.area)
+
+let objective_lower_bound obj ctx ~sampling_ns ~n_samples partial design =
+  if not partial.feasible then infinity
+  else
+    match obj with
+    | Area -> partial.area
+    | Power ->
+        let e = Power.energy_floor ctx design ~makespan:partial.makespan ~n_samples in
+        (e *. Voltage.energy_factor ctx.Design.vdd /. sampling_ns *. 1000.)
+        +. (area_tiebreak *. partial.area)

@@ -30,7 +30,38 @@ val evaluate :
   Design.t ->
   eval
 (** Evaluate a design point. [with_power] defaults to true; pass false
-    in area-only searches to skip the simulation. *)
+    in area-only searches to skip the simulation. Exactly
+    [power_stage] composed on [schedule_stage]. *)
+
+val schedule_stage : Design.ctx -> Sched.constraints -> Design.t -> eval
+(** The cheap stage: list scheduling plus the area model. [power] and
+    [energy_sample] are [nan]. Equals [evaluate ~with_power:false]. *)
+
+val power_stage :
+  Design.ctx ->
+  Sched.constraints ->
+  sampling_ns:float ->
+  trace:int array list ->
+  Design.t ->
+  eval ->
+  eval
+(** The expensive stage: run the switched-capacitance trace simulation
+    and fill [power]/[energy_sample] into a {!schedule_stage} result
+    (identity on infeasible designs). *)
+
+val objective_lower_bound :
+  objective ->
+  Design.ctx ->
+  sampling_ns:float ->
+  n_samples:int ->
+  eval ->
+  Design.t ->
+  float
+(** Lower bound on [objective_value obj (power_stage ... partial)]
+    computable from the {!schedule_stage} result alone (via
+    {!Hsyn_eval.Power.energy_floor} in power mode). The engine skips
+    the trace simulation of any candidate whose bound already exceeds
+    the best value seen in its batch. *)
 
 val objective_value : objective -> eval -> float
 (** The scalar being minimized: area, or power plus a small area

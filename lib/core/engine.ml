@@ -1,0 +1,396 @@
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Pool = Hsyn_util.Pool
+
+type counters = {
+  generated : int;
+  evaluated : int;
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  power_sims : int;
+  power_skipped : int;
+  batches : int;
+  wall_s : float;
+}
+
+let zero =
+  {
+    generated = 0;
+    evaluated = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    evictions = 0;
+    power_sims = 0;
+    power_skipped = 0;
+    batches = 0;
+    wall_s = 0.;
+  }
+
+let add a b =
+  {
+    generated = a.generated + b.generated;
+    evaluated = a.evaluated + b.evaluated;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    evictions = a.evictions + b.evictions;
+    power_sims = a.power_sims + b.power_sims;
+    power_skipped = a.power_skipped + b.power_skipped;
+    batches = a.batches + b.batches;
+    wall_s = a.wall_s +. b.wall_s;
+  }
+
+let sub a b =
+  {
+    generated = a.generated - b.generated;
+    evaluated = a.evaluated - b.evaluated;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    evictions = a.evictions - b.evictions;
+    power_sims = a.power_sims - b.power_sims;
+    power_skipped = a.power_skipped - b.power_skipped;
+    batches = a.batches - b.batches;
+    wall_s = a.wall_s -. b.wall_s;
+  }
+
+let rate num denom = if denom <= 0 then 0. else 100. *. Float.of_int num /. Float.of_int denom
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "gen %d  eval %d  cache %d/%d (%.1f%% hit)  evict %d  sims %d  skipped %d (%.1f%%)  batches %d  %.3fs"
+    c.generated c.evaluated c.cache_hits
+    (c.cache_hits + c.cache_misses)
+    (rate c.cache_hits (c.cache_hits + c.cache_misses))
+    c.evictions c.power_sims c.power_skipped
+    (rate c.power_skipped (c.power_sims + c.power_skipped))
+    c.batches c.wall_s
+
+type policy = { jobs : int; cache_capacity : int; staged : bool }
+
+let default_policy = { jobs = Pool.default_jobs (); cache_capacity = 4096; staged = true }
+
+(* A cache entry keeps the design it was computed from so a fingerprint
+   collision is caught by structural comparison and falls through to
+   recomputation — the cache can be stale-free but never wrong.
+   [power_done] records whether [e_eval] already includes the trace
+   simulation (infeasible designs never need one). *)
+type entry = { e_design : Design.t; mutable e_eval : Cost.eval; mutable e_power_done : bool }
+
+type t = {
+  policy : policy;
+  ctx : Design.ctx;
+  cs : Sched.constraints;
+  sampling_ns : float;
+  trace : int array list;
+  n_samples : int;
+  obj : Cost.objective;
+  cache : (int64, entry) Hashtbl.t;
+  order : int64 Queue.t;  (* FIFO eviction order, one slot per fingerprint *)
+  mutable totals : counters;
+  families : (string, counters) Hashtbl.t;
+}
+
+(* Process-wide accumulators, aggregated across every engine created in
+   this process (top-level runs, clib construction, nested resynthesis).
+   Engines only mutate them from the domain that owns the engine; the
+   worker pool runs pure evaluation closures, so no lock is needed as
+   long as synthesis itself is driven from one domain — which is how
+   the CLI, bench harness and tests all use it. *)
+let global_totals = ref zero
+let global_families : (string, counters) Hashtbl.t = Hashtbl.create 16
+
+let bump_family tbl fam d =
+  let cur = match Hashtbl.find_opt tbl fam with Some c -> c | None -> zero in
+  Hashtbl.replace tbl fam (add cur d)
+
+let bump t ?fam d =
+  t.totals <- add t.totals d;
+  global_totals := add !global_totals d;
+  match fam with
+  | None -> ()
+  | Some f ->
+      bump_family t.families f d;
+      bump_family global_families f d
+
+let create ?(policy = default_policy) ~ctx ~cs ~sampling_ns ~trace ~objective () =
+  {
+    policy = { policy with jobs = max 1 policy.jobs };
+    ctx;
+    cs;
+    sampling_ns;
+    trace;
+    n_samples = List.length trace;
+    obj = objective;
+    cache = Hashtbl.create 256;
+    order = Queue.create ();
+    totals = zero;
+    families = Hashtbl.create 8;
+  }
+
+let objective t = t.obj
+let counters t = t.totals
+let cache_size t = Hashtbl.length t.cache
+
+let sorted_families tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let family_counters t = sorted_families t.families
+let global_counters () = !global_totals
+let global_family_counters () = sorted_families global_families
+
+let reset_global_counters () =
+  global_totals := zero;
+  Hashtbl.reset global_families
+
+(* -- cache ------------------------------------------------------------- *)
+
+let cache_insert t fp (e : entry) =
+  if t.policy.cache_capacity > 0 then begin
+    if Hashtbl.length t.cache >= t.policy.cache_capacity then begin
+      (* FIFO: drop the oldest fingerprint still resident. *)
+      let rec evict () =
+        match Queue.take_opt t.order with
+        | None -> ()
+        | Some old ->
+            if Hashtbl.mem t.cache old then begin
+              Hashtbl.remove t.cache old;
+              bump t { zero with evictions = 1 }
+            end
+            else evict ()
+      in
+      evict ()
+    end;
+    if not (Hashtbl.mem t.cache fp) then Queue.add fp t.order;
+    Hashtbl.replace t.cache fp e
+  end
+
+let cache_find t fp design =
+  match Hashtbl.find_opt t.cache fp with
+  | Some e when e.e_design = design -> Some e
+  | _ -> None
+
+(* -- staged evaluation primitives -------------------------------------- *)
+
+let stage1 t design = Cost.schedule_stage t.ctx t.cs design
+
+let stage2 t design partial =
+  Cost.power_stage t.ctx t.cs ~sampling_ns:t.sampling_ns ~trace:t.trace design partial
+
+(* Fill the power stage into an entry; a no-op when already done.
+   Returns true when a simulation actually ran. *)
+let complete_power t (e : entry) =
+  if e.e_power_done then false
+  else begin
+    e.e_eval <- stage2 t e.e_design e.e_eval;
+    e.e_power_done <- true;
+    true
+  end
+
+let fresh_entry t ?(need_power = false) design =
+  let partial = stage1 t design in
+  let power_done = not partial.Cost.feasible in
+  let e = { e_design = design; e_eval = partial; e_power_done = power_done } in
+  if need_power then ignore (complete_power t e : bool);
+  e
+
+let eval_internal t ~need_power design =
+  let fp = Design.fingerprint design in
+  match cache_find t fp design with
+  | Some e ->
+      let sims = if need_power && complete_power t e then 1 else 0 in
+      bump t { zero with cache_hits = 1; power_sims = sims };
+      e.e_eval
+  | None ->
+      let e = fresh_entry t ~need_power design in
+      let sims = if e.e_power_done && e.e_eval.Cost.feasible then 1 else 0 in
+      bump t { zero with cache_misses = 1; evaluated = 1; power_sims = sims };
+      cache_insert t fp e;
+      e.e_eval
+
+let evaluate t design = eval_internal t ~need_power:(t.obj = Power) design
+let evaluate_with_power t design = eval_internal t ~need_power:true design
+
+(* -- batch best-candidate selection ------------------------------------ *)
+
+(* Candidate state during a [best_of] batch. *)
+type 'a cand = {
+  c_idx : int;  (* generation index; ties resolve to the smallest *)
+  c_tag : 'a;
+  c_fam : string option;
+  c_fp : int64;
+  c_entry : entry;
+  c_cached : bool;
+}
+
+let take_n n seq =
+  let rec go acc n seq =
+    if n <= 0 then List.rev acc
+    else
+      match seq () with
+      | Seq.Nil -> List.rev acc
+      | Seq.Cons (x, rest) -> go (x :: acc) (n - 1) rest
+  in
+  go [] n seq
+
+let better (v1, i1) (v2, i2) = v1 < v2 || (v1 = v2 && i1 < i2)
+
+let best_of t ?family ~limit seq =
+  let t0 = Unix.gettimeofday () in
+  let pool = Pool.shared t.policy.jobs in
+  let fam x = Option.map (fun f -> f x) family in
+  (* Generation happens here on the calling domain: pulling the lazy
+     sequence may recurse into nested synthesis (move B), which must
+     not run on pool workers. *)
+  let raw = take_n (max 0 limit) seq |> Array.of_list in
+  Array.iteri
+    (fun _ (tag, _) -> bump t ?fam:(fam tag) { zero with generated = 1 })
+    raw;
+  (* Stage 1 (schedule + area) for every cache miss, in parallel. Cache
+     probes, in-batch dedup and counter updates stay on this domain:
+     duplicate designs within the batch (generators do produce them)
+     share one evaluation and count as hits. *)
+  let batch_seen : (int64, entry) Hashtbl.t = Hashtbl.create 16 in
+  let probed =
+    Array.mapi
+      (fun i (tag, design) ->
+        let fp = Design.fingerprint design in
+        let hit =
+          match cache_find t fp design with
+          | Some e -> Some e
+          | None -> (
+              match Hashtbl.find_opt batch_seen fp with
+              | Some e when e.e_design = design -> Some e
+              | _ ->
+                  (* placeholder entry; its eval is filled from the
+                     stage-1 results below before anyone reads it *)
+                  let e =
+                    {
+                      e_design = design;
+                      e_eval =
+                        {
+                          Cost.area = 0.;
+                          power = Float.nan;
+                          energy_sample = Float.nan;
+                          makespan = 0;
+                          feasible = false;
+                        };
+                      e_power_done = false;
+                    }
+                  in
+                  Hashtbl.replace batch_seen fp e;
+                  None)
+        in
+        (i, tag, design, fp, hit))
+      raw
+  in
+  let stage1_results =
+    Pool.map_array pool
+      (fun (_, _, design, _, hit) ->
+        match hit with None -> Some (stage1 t design) | Some _ -> None)
+      probed
+  in
+  let cands =
+    Array.map2
+      (fun (i, tag, design, fp, hit) s1 ->
+        match (hit, s1) with
+        | Some e, _ ->
+            bump t ?fam:(fam tag) { zero with cache_hits = 1 };
+            { c_idx = i; c_tag = tag; c_fam = fam tag; c_fp = fp; c_entry = e; c_cached = true }
+        | None, Some partial ->
+            bump t ?fam:(fam tag) { zero with cache_misses = 1; evaluated = 1 };
+            let e =
+              match Hashtbl.find_opt batch_seen fp with
+              | Some e when e.e_design == design -> e
+              | _ -> { e_design = design; e_eval = partial; e_power_done = false }
+            in
+            e.e_eval <- partial;
+            e.e_power_done <- not partial.Cost.feasible;
+            cache_insert t fp e;
+            { c_idx = i; c_tag = tag; c_fam = fam tag; c_fp = fp; c_entry = e; c_cached = false }
+        | None, None -> assert false)
+      probed stage1_results
+  in
+  let finish best =
+    bump t { zero with batches = 1; wall_s = Unix.gettimeofday () -. t0 };
+    Option.map
+      (fun (c, v) -> (c.c_tag, c.c_entry.e_design, c.c_entry.e_eval, v))
+      best
+  in
+  match t.obj with
+  | Cost.Area ->
+      (* Area is fully determined by stage 1 — pick directly. *)
+      let best = ref None in
+      Array.iter
+        (fun c ->
+          let v = Cost.objective_value t.obj c.c_entry.e_eval in
+          if v < infinity then
+            match !best with
+            | Some (_, bv, bi) when not (better (v, c.c_idx) (bv, bi)) -> ()
+            | _ -> best := Some (c, v, c.c_idx))
+        cands;
+      finish (Option.map (fun (c, v, _) -> (c, v)) !best)
+  | Cost.Power ->
+      (* Seed the incumbent from candidates whose power is already
+         known (cache hits with a completed simulation). *)
+      let best = ref None in
+      let consider c =
+        let v = Cost.objective_value t.obj c.c_entry.e_eval in
+        if v < infinity then
+          match !best with
+          | Some (_, bv, bi) when not (better (v, c.c_idx) (bv, bi)) -> ()
+          | _ -> best := Some (c, v, c.c_idx)
+      in
+      let pending = ref [] in
+      Array.iter
+        (fun c ->
+          if c.c_entry.e_power_done then begin
+            if c.c_entry.e_eval.Cost.feasible then consider c
+          end
+          else pending := c :: !pending)
+        cands;
+      (* Simulate the rest cheapest-bound-first, in waves sized to the
+         pool, skipping every candidate whose lower bound proves it
+         cannot beat the incumbent. Skips never change the winner:
+         objective >= bound > best value. *)
+      let bound c =
+        Cost.objective_lower_bound t.obj t.ctx ~sampling_ns:t.sampling_ns
+          ~n_samples:t.n_samples c.c_entry.e_eval c.c_entry.e_design
+      in
+      let pending =
+        List.rev_map (fun c -> (bound c, c)) !pending
+        |> List.sort (fun (b1, c1) (b2, c2) -> compare (b1, c1.c_idx) (b2, c2.c_idx))
+      in
+      let wave_size = max (2 * Pool.jobs pool) 8 in
+      let rec waves = function
+        | [] -> ()
+        | pending ->
+            let beats_best b =
+              (not t.policy.staged)
+              || match !best with None -> true | Some (_, bv, _) -> b <= bv
+            in
+            let skipped, rest = List.partition (fun (b, _) -> not (beats_best b)) pending in
+            List.iter
+              (fun (_, c) -> bump t ?fam:c.c_fam { zero with power_skipped = 1 })
+              skipped;
+            (match rest with
+            | [] -> ()
+            | rest ->
+                let wave = take_n wave_size (List.to_seq rest) in
+                let rest = List.filteri (fun i _ -> i >= List.length wave) rest in
+                let evals =
+                  Pool.map_array pool
+                    (fun (_, c) -> stage2 t c.c_entry.e_design c.c_entry.e_eval)
+                    (Array.of_list wave)
+                in
+                List.iteri
+                  (fun i (_, c) ->
+                    c.c_entry.e_eval <- evals.(i);
+                    c.c_entry.e_power_done <- true;
+                    bump t ?fam:c.c_fam { zero with power_sims = 1 };
+                    consider c)
+                  wave;
+                waves rest)
+      in
+      waves pending;
+      finish (Option.map (fun (c, v, _) -> (c, v)) !best)

@@ -1,0 +1,121 @@
+(** The candidate-evaluation engine of the move loop.
+
+    Every cost query of the iterative-improvement engine — single
+    evaluations in {!Pass} and batch best-candidate selection in
+    {!Moves} — goes through an [Engine.t] instead of calling
+    {!Cost.evaluate} directly. The engine layers three mechanisms on
+    the same cost oracle, all of them result-preserving:
+
+    - {b memoization} — a structural fingerprint of the design
+      ({!Hsyn_rtl.Design.fingerprint}) keys a bounded cost cache, so
+      candidates re-generated across passes and across the A/B/C/D
+      move families are never re-scheduled or re-simulated. Hits are
+      verified by structural equality, making collisions harmless.
+    - {b staged evaluation} — scheduling feasibility and area are
+      computed first; in power mode the expensive trace simulation
+      runs only for candidates whose trace-independent lower bound
+      ({!Cost.objective_lower_bound}) can still beat the best value
+      seen so far in the batch. Skipping is exact: a skipped candidate
+      provably cannot win.
+    - {b parallel batches} — stage-one and stage-two evaluations of a
+      candidate batch run on a fixed {!Hsyn_util.Pool} of domains,
+      sized by [HSYN_JOBS] / [--jobs], falling back to plain
+      sequential evaluation at [jobs = 1].
+
+    Results are bit-identical to direct {!Cost.evaluate} calls and
+    independent of the pool size; per-family counters make the cache
+    and staging behavior observable ([hsyn synth --stats], the bench
+    harness JSON). *)
+
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+
+type counters = {
+  generated : int;  (** candidates pulled from the move generators *)
+  evaluated : int;  (** schedule+area stages actually computed *)
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;  (** cache entries dropped to respect capacity *)
+  power_sims : int;  (** trace simulations actually run *)
+  power_skipped : int;  (** simulations avoided by the staged bound *)
+  batches : int;  (** [best_of] calls *)
+  wall_s : float;  (** wall time spent inside the engine *)
+}
+
+val zero : counters
+val add : counters -> counters -> counters
+val sub : counters -> counters -> counters
+(** Fieldwise difference — [sub after before] is the delta of an
+    interval, used to attribute engine work to one improvement run. *)
+
+val pp_counters : Format.formatter -> counters -> unit
+(** One-line summary incl. hit rate and skip rate. *)
+
+type policy = {
+  jobs : int;  (** parallelism degree; 1 = sequential, no domains *)
+  cache_capacity : int;  (** max memoized designs; 0 disables the cache *)
+  staged : bool;  (** enable the power-simulation skip bound *)
+}
+
+val default_policy : policy
+(** [jobs] from [HSYN_JOBS] (default 1), capacity 4096, staged on. *)
+
+type t
+
+val create :
+  ?policy:policy ->
+  ctx:Design.ctx ->
+  cs:Sched.constraints ->
+  sampling_ns:float ->
+  trace:int array list ->
+  objective:Cost.objective ->
+  unit ->
+  t
+(** An engine is bound to one evaluation context — the technology
+    context, constraints, sampling period, input trace and objective
+    fixed for one improvement run. The cost cache is scoped to the
+    engine, so context changes can never alias. *)
+
+val objective : t -> Cost.objective
+
+val evaluate : t -> Design.t -> Cost.eval
+(** Memoized equivalent of
+    [Cost.evaluate ~with_power:(objective = Power)]. *)
+
+val evaluate_with_power : t -> Design.t -> Cost.eval
+(** Memoized equivalent of [Cost.evaluate ~with_power:true] regardless
+    of the objective — for final result reporting. A cached area-only
+    entry is upgraded in place (only the simulation runs). *)
+
+val best_of :
+  t ->
+  ?family:('a -> string) ->
+  limit:int ->
+  ('a * Design.t) Seq.t ->
+  ('a * Design.t * Cost.eval * float) option
+(** Pull at most [limit] candidates from the (lazily produced)
+    sequence, evaluate them — memoized, staged, in parallel batches —
+    and return the feasible candidate minimizing the objective, with
+    its evaluation and objective value. Ties go to the earliest
+    candidate, matching a sequential fold; the result does not depend
+    on [jobs]. [family] labels candidates for per-move-family
+    counters. *)
+
+val counters : t -> counters
+(** Snapshot of this engine's totals. *)
+
+val family_counters : t -> (string * counters) list
+(** Per-family snapshots, sorted by family name. *)
+
+val cache_size : t -> int
+
+(** {1 Process-wide accounting}
+
+    Engines are created at every level of the synthesis recursion
+    (top-level improvement, complex-library construction, move-B
+    resynthesis); the global accumulators aggregate across all of them
+    for [--stats] reporting and the bench harness. *)
+
+val global_counters : unit -> counters
+val global_family_counters : unit -> (string * counters) list
+val reset_global_counters : unit -> unit

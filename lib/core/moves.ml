@@ -29,6 +29,7 @@ type env = {
   sampling_ns : float;
   trace : int array list;
   objective : Cost.objective;
+  engine : Engine.t;
   registry : Registry.t;
   complexes : string -> Design.rtl_module list;
   resynth :
@@ -43,26 +44,22 @@ let fresh_name env base =
   env.fresh_names <- env.fresh_names + 1;
   Printf.sprintf "%s~%d" base env.fresh_names
 
-let with_power env = env.objective = Cost.Power
+(* Candidates are produced lazily — [(kind, description), design]
+   sequences — so the per-family truncation in [best_of] also bounds
+   generation work (nested resynthesis, RTL embedding), not just
+   evaluation. All evaluation goes through the engine: memoized,
+   staged, batched over the worker pool. *)
+type candidate = (kind * string) * Design.t
 
-let evaluate env d =
-  Cost.evaluate ~with_power:(with_power env) env.ctx env.cs ~sampling_ns:env.sampling_ns
-    ~trace:env.trace d
-
-(* Evaluate raw candidates and keep the best feasible one. *)
-let best_of env cur_value candidates =
-  let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r in
-  let candidates = take env.max_candidates candidates in
-  List.fold_left
-    (fun best (kind, description, candidate) ->
-      let eval = evaluate env candidate in
-      if not eval.Cost.feasible then best
-      else begin
-        let gain = cur_value -. Cost.objective_value env.objective eval in
-        let move = { kind; description; candidate; eval; gain } in
-        match best with Some b when b.gain >= gain -> best | _ -> Some move
-      end)
-    None candidates
+let best_of env cur_value (candidates : candidate Seq.t) =
+  match
+    Engine.best_of env.engine
+      ~family:(fun (kind, _) -> kind_name kind)
+      ~limit:env.max_candidates candidates
+  with
+  | None -> None
+  | Some ((kind, description), candidate, eval, value) ->
+      Some { kind; description; candidate; eval; gain = cur_value -. value }
 
 (* ------------------------------------------------------------------ *)
 (* Helpers on designs *)
@@ -70,13 +67,9 @@ let best_of env cur_value candidates =
 let single_behavior (rm : Design.rtl_module) =
   match rm.Design.parts with [ (b, _) ] -> Some b | _ -> None
 
-let consumers_of_value (dfg : Dfg.t) (p : Dfg.port) =
-  let acc = ref [] in
-  Array.iteri
-    (fun dst (node : Dfg.node) ->
-      Array.iteri (fun port src -> if src = p then acc := (dst, port) :: !acc) node.Dfg.ins)
-    dfg.Dfg.nodes;
-  !acc
+(* Consumers of a value, via the index built once per generator run —
+   replaces the former whole-graph rescan per query. *)
+let consumers idx (dfg : Dfg.t) (p : Dfg.port) = idx.(Design.value_index dfg p)
 
 (* Rebind all nodes from instance [j] onto [i] with merged unit type,
    then drop [j]. *)
@@ -90,7 +83,7 @@ let merge_simple d i j merged_kind =
 (* ------------------------------------------------------------------ *)
 (* Move family A: module selection *)
 
-let select_candidates env (d : Design.t) =
+let select_candidates env (d : Design.t) : candidate Seq.t =
   let lib = env.ctx.Design.lib in
   (* rank unit swaps by how much objective they can plausibly win, so
      truncation in [best_of] keeps the promising ones: big capacitance
@@ -111,8 +104,7 @@ let select_candidates env (d : Design.t) =
                  List.map
                    (fun alt ->
                      ( swap_score uses fu alt,
-                       ( Select,
-                         Printf.sprintf "I%d %s -> %s" i fu.Fu.name alt.Fu.name,
+                       ( (Select, Printf.sprintf "I%d %s -> %s" i fu.Fu.name alt.Fu.name),
                          Design.with_inst d i (Design.Simple alt) ) ))
                    (Library.alternatives lib fu)
              | Design.Module _ -> []))
@@ -133,75 +125,87 @@ let select_candidates env (d : Design.t) =
                      |> List.filter (fun (rm' : Design.rtl_module) ->
                             rm'.Design.rm_name <> rm.Design.rm_name)
                      |> List.map (fun rm' ->
-                            ( Select,
-                              Printf.sprintf "I%d %s -> %s" i rm.Design.rm_name rm'.Design.rm_name,
+                            ( ( Select,
+                                Printf.sprintf "I%d %s -> %s" i rm.Design.rm_name
+                                  rm'.Design.rm_name ),
                               Design.with_inst d i (Design.Module rm') )))
              | Design.Simple _ -> []))
   in
-  simple @ complex
+  List.to_seq (simple @ complex)
 
 (* ------------------------------------------------------------------ *)
 (* Move family B: resynthesis under environment constraints *)
 
-let resynth_candidates env (d : Design.t) =
+let resynth_candidates env (d : Design.t) : candidate Seq.t =
   match env.resynth with
-  | None -> []
+  | None -> Seq.empty
   | Some resynth ->
       let dfg = d.Design.dfg in
-      let sch = Sched.schedule env.ctx env.cs d in
-      let alap = Sched.alap_start env.ctx ~deadline:env.cs.Sched.deadline d in
-      List.concat
-        (List.init (Array.length d.Design.insts) (fun i ->
+      (* schedule, ALAP and the consumer index are shared by all
+         instances but only computed if some candidate is pulled *)
+      let pre =
+        lazy
+          ( Sched.schedule env.ctx env.cs d,
+            Sched.alap_start env.ctx ~deadline:env.cs.Sched.deadline d,
+            Design.consumer_index dfg )
+      in
+      Seq.init (Array.length d.Design.insts) Fun.id
+      |> Seq.concat_map (fun i ->
              match d.Design.insts.(i) with
-             | Design.Simple _ -> []
+             | Design.Simple _ -> Seq.empty
              | Design.Module rm -> (
-                 match single_behavior rm, Design.nodes_on d i with
+                 match (single_behavior rm, Design.nodes_on d i) with
                  | Some behavior, [ call ] ->
-                     let node = dfg.Dfg.nodes.(call) in
-                     let arrivals =
-                       Array.map
-                         (fun p -> sch.Sched.avail.(Design.value_index dfg p))
-                         node.Dfg.ins
-                     in
-                     let latest_out out =
-                       let p = { Dfg.node = call; out } in
-                       let cons = consumers_of_value dfg p in
-                       List.fold_left
-                         (fun acc (c, _) ->
-                           match dfg.Dfg.nodes.(c).Dfg.kind with
-                           | Dfg.Output | Dfg.Delay _ -> min acc env.cs.Sched.deadline
-                           | _ -> min acc (max 0 alap.(c)))
-                         env.cs.Sched.deadline cons
-                     in
-                     let outs = Array.init node.Dfg.n_out latest_out in
-                     let base = Array.fold_left min max_int arrivals in
-                     let base = if base = max_int then 0 else base in
-                     let rel_arr = Array.map (fun a -> a - base) arrivals in
-                     let rel_out = Array.map (fun o -> max 1 (o - base)) outs in
-                     let inner_deadline = Array.fold_left max 1 rel_out in
-                     let inner_cs =
-                       {
-                         Sched.input_arrival = rel_arr;
-                         output_deadline = Some rel_out;
-                         deadline = inner_deadline;
-                       }
-                     in
-                     let part = Design.module_part rm behavior in
-                     let part' = resynth env.ctx inner_cs env.objective part in
-                     if part' == part then []
-                     else
-                       let rm' =
+                     (* the nested synthesis is the expensive part:
+                        defer it until this element is demanded *)
+                     fun () ->
+                       let sch, alap, cidx = Lazy.force pre in
+                       let node = dfg.Dfg.nodes.(call) in
+                       let arrivals =
+                         Array.map
+                           (fun p -> sch.Sched.avail.(Design.value_index dfg p))
+                           node.Dfg.ins
+                       in
+                       let latest_out out =
+                         let p = { Dfg.node = call; out } in
+                         let cons = consumers cidx dfg p in
+                         List.fold_left
+                           (fun acc (c, _) ->
+                             match dfg.Dfg.nodes.(c).Dfg.kind with
+                             | Dfg.Output | Dfg.Delay _ -> min acc env.cs.Sched.deadline
+                             | _ -> min acc (max 0 alap.(c)))
+                           env.cs.Sched.deadline cons
+                       in
+                       let outs = Array.init node.Dfg.n_out latest_out in
+                       let base = Array.fold_left min max_int arrivals in
+                       let base = if base = max_int then 0 else base in
+                       let rel_arr = Array.map (fun a -> a - base) arrivals in
+                       let rel_out = Array.map (fun o -> max 1 (o - base)) outs in
+                       let inner_deadline = Array.fold_left max 1 rel_out in
+                       let inner_cs =
                          {
-                           Design.rm_name = fresh_name env rm.Design.rm_name;
-                           parts = [ (behavior, part') ];
+                           Sched.input_arrival = rel_arr;
+                           output_deadline = Some rel_out;
+                           deadline = inner_deadline;
                          }
                        in
-                       [
-                         ( Resynthesize,
-                           Printf.sprintf "I%d resynthesize %s under slack" i rm.Design.rm_name,
-                           Design.with_inst d i (Design.Module rm') );
-                       ]
-                 | _ -> [])))
+                       let part = Design.module_part rm behavior in
+                       let part' = resynth env.ctx inner_cs env.objective part in
+                       if part' == part then Seq.Nil
+                       else
+                         let rm' =
+                           {
+                             Design.rm_name = fresh_name env rm.Design.rm_name;
+                             parts = [ (behavior, part') ];
+                           }
+                         in
+                         Seq.Cons
+                           ( ( ( Resynthesize,
+                                 Printf.sprintf "I%d resynthesize %s under slack" i
+                                   rm.Design.rm_name ),
+                               Design.with_inst d i (Design.Module rm') ),
+                             Seq.empty )
+                 | _ -> Seq.empty))
 
 (* ------------------------------------------------------------------ *)
 (* Move family C: merging / resource sharing *)
@@ -226,17 +230,17 @@ let simple_pairs (d : Design.t) =
   in
   List.sort (fun a b -> compare (saved b) (saved a)) !pairs
 
-let merge_simple_candidates (d : Design.t) =
-  List.map
-    (fun (i, j, merged) ->
-      (Merge, Printf.sprintf "share I%d+I%d" i j, merge_simple d i j merged))
-    (simple_pairs d)
+let merge_simple_candidates (d : Design.t) : candidate Seq.t =
+  List.to_seq (simple_pairs d)
+  |> Seq.map (fun (i, j, merged) ->
+         ((Merge, Printf.sprintf "share I%d+I%d" i j), merge_simple d i j merged))
 
 (* Chain fusion: nodes a -> b (both additions on separate plain units)
    fused onto a chained adder; extended to three for chained_add3. *)
-let chain_candidates env (d : Design.t) =
+let chain_candidates env (d : Design.t) : candidate Seq.t =
   let lib = env.ctx.Design.lib in
   let dfg = d.Design.dfg in
+  let cidx = lazy (Design.consumer_index dfg) in
   let is_plain_add id =
     dfg.Dfg.nodes.(id).Dfg.kind = Dfg.Op Op.Add
     && d.Design.node_inst.(id) >= 0
@@ -244,9 +248,6 @@ let chain_candidates env (d : Design.t) =
     match d.Design.insts.(d.Design.node_inst.(id)) with
     | Design.Simple fu -> not (Fu.is_chain fu)
     | Design.Module _ -> false
-  in
-  let feeds a b =
-    Array.exists (fun ({ Dfg.node; _ } : Dfg.port) -> node = a) dfg.Dfg.nodes.(b).Dfg.ins
   in
   let fuse nodes chain_fu =
     (* allocate the chain instance, rebind members, unregister
@@ -257,7 +258,7 @@ let chain_candidates env (d : Design.t) =
       List.fold_left
         (fun acc id ->
           let p = { Dfg.node = id; out = 0 } in
-          let cons = consumers_of_value dfg p in
+          let cons = consumers (Lazy.force cidx) dfg p in
           let internal_only =
             cons <> [] && List.for_all (fun (c, _) -> List.mem c nodes) cons
           in
@@ -279,36 +280,32 @@ let chain_candidates env (d : Design.t) =
     dfg.Dfg.nodes;
   let two =
     match Library.chains_for lib Op.Add 2 with
-    | [] -> []
+    | [] -> Seq.empty
     | chain :: _ ->
-        List.map
-          (fun (a, b) ->
-            ( Merge,
-              Printf.sprintf "chain %s+%s on %s" dfg.Dfg.nodes.(a).Dfg.label
-                dfg.Dfg.nodes.(b).Dfg.label chain.Fu.name,
-              fuse [ a; b ] chain ))
-          !pairs
+        List.to_seq !pairs
+        |> Seq.map (fun (a, b) ->
+               ( ( Merge,
+                   Printf.sprintf "chain %s+%s on %s" dfg.Dfg.nodes.(a).Dfg.label
+                     dfg.Dfg.nodes.(b).Dfg.label chain.Fu.name ),
+                 fuse [ a; b ] chain ))
   in
   let three =
     match Library.chains_for lib Op.Add 3 with
-    | [] -> []
+    | [] -> Seq.empty
     | chain :: _ ->
-        List.concat_map
-          (fun (a, b) ->
-            List.filter_map
-              (fun (b', c) ->
-                if b' = b && c <> a && is_plain_add c then
-                  Some
-                    ( Merge,
-                      Printf.sprintf "chain3 %s+%s+%s" dfg.Dfg.nodes.(a).Dfg.label
-                        dfg.Dfg.nodes.(b).Dfg.label dfg.Dfg.nodes.(c).Dfg.label,
-                      fuse [ a; b; c ] chain )
-                else None)
-              !pairs)
-          !pairs
+        List.to_seq !pairs
+        |> Seq.concat_map (fun (a, b) ->
+               List.to_seq !pairs
+               |> Seq.filter_map (fun (b', c) ->
+                      if b' = b && c <> a && is_plain_add c then
+                        Some
+                          ( ( Merge,
+                              Printf.sprintf "chain3 %s+%s+%s" dfg.Dfg.nodes.(a).Dfg.label
+                                dfg.Dfg.nodes.(b).Dfg.label dfg.Dfg.nodes.(c).Dfg.label ),
+                            fuse [ a; b; c ] chain )
+                      else None))
   in
-  ignore feeds;
-  two @ three
+  Seq.append two three
 
 (* Behaviors actually invoked on an instance. *)
 let behaviors_used (d : Design.t) i =
@@ -322,7 +319,7 @@ let behaviors_used (d : Design.t) i =
    sharing counterpart of simple-unit merging, and the main source of
    area recovery on hierarchical inputs (seven butterflies on one
    butterfly module). No embedding needed. *)
-let module_share_candidates (d : Design.t) =
+let module_share_candidates (d : Design.t) : candidate Seq.t =
   let n = Array.length d.Design.insts in
   let cands = ref [] in
   for i = 0 to n - 1 do
@@ -342,56 +339,60 @@ let module_share_candidates (d : Design.t) =
                   d (Design.nodes_on d j)
               in
               cands :=
-                ( Merge,
-                  Printf.sprintf "multiplex I%d(%s) onto I%d(%s)" j rmj.Design.rm_name i
-                    rmi.Design.rm_name,
+                ( ( Merge,
+                    Printf.sprintf "multiplex I%d(%s) onto I%d(%s)" j rmj.Design.rm_name i
+                      rmi.Design.rm_name ),
                   Design.compact d' )
                 :: !cands
             end
         | _ -> ()
     done
   done;
-  !cands
+  List.to_seq !cands
 
-(* Complex-module merging via RTL embedding. *)
-let module_merge_candidates env (d : Design.t) =
+(* Complex-module merging via RTL embedding. The embedding itself is
+   deferred per pair, so candidates beyond the truncation limit cost
+   nothing. *)
+let module_merge_candidates env (d : Design.t) : candidate Seq.t =
   let n = Array.length d.Design.insts in
-  let cands = ref [] in
+  let pairs = ref [] in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       if Design.inst_used d i && Design.inst_used d j then
         match d.Design.insts.(i), d.Design.insts.(j) with
-        | Design.Module rmi, Design.Module rmj -> (
-            match
-              Embed.merge_modules env.ctx
-                ~name:(fresh_name env (rmi.Design.rm_name ^ "+" ^ rmj.Design.rm_name))
-                rmi rmj
-            with
-            | None -> ()
-            | Some (merged, _) ->
-                let d' = Design.with_inst d i (Design.Module merged) in
-                let d' =
-                  List.fold_left
-                    (fun acc node -> Design.with_binding acc node i)
-                    d' (Design.nodes_on d' j)
-                in
-                cands :=
-                  ( Merge,
-                    Printf.sprintf "embed I%d(%s)+I%d(%s)" i rmi.Design.rm_name j
-                      rmj.Design.rm_name,
-                    Design.compact d' )
-                  :: !cands)
+        | Design.Module rmi, Design.Module rmj -> pairs := (i, j, rmi, rmj) :: !pairs
         | _ -> ()
     done
   done;
-  !cands
+  List.to_seq !pairs
+  |> Seq.filter_map (fun (i, j, rmi, rmj) ->
+         match
+           Embed.merge_modules env.ctx
+             ~name:(fresh_name env (rmi.Design.rm_name ^ "+" ^ rmj.Design.rm_name))
+             rmi rmj
+         with
+         | None -> None
+         | Some (merged, _) ->
+             let d' = Design.with_inst d i (Design.Module merged) in
+             let d' =
+               List.fold_left
+                 (fun acc node -> Design.with_binding acc node i)
+                 d' (Design.nodes_on d' j)
+             in
+             Some
+               ( ( Merge,
+                   Printf.sprintf "embed I%d(%s)+I%d(%s)" i rmi.Design.rm_name j
+                     rmj.Design.rm_name ),
+                 Design.compact d' ))
 
 (* Left-edge register re-allocation: one global candidate. *)
-let left_edge_candidate env (d : Design.t) =
+let left_edge_candidate env (d : Design.t) : candidate Seq.t =
+ fun () ->
   let dfg = d.Design.dfg in
   let sch = Sched.schedule env.ctx env.cs d in
-  if not sch.Sched.feasible then []
+  if not sch.Sched.feasible then Seq.Nil
   else begin
+    let cidx = Design.consumer_index dfg in
     let nv = Design.n_values dfg in
     (* values that must keep private registers: delay state *)
     let is_delay_value v =
@@ -412,7 +413,7 @@ let left_edge_candidate env (d : Design.t) =
             in
             max acc t)
           birth
-          (consumers_of_value dfg p)
+          (consumers cidx dfg p)
       in
       (birth, death)
     in
@@ -453,52 +454,63 @@ let left_edge_candidate env (d : Design.t) =
     List.iter assign sorted;
     let n_regs = !next_reg + Hsyn_util.Vec.length reg_free in
     let d' = { d with Design.value_reg; n_regs } in
-    [ (Merge, "left-edge register re-allocation", d') ]
+    Seq.Cons (((Merge, "left-edge register re-allocation"), d'), Seq.empty)
   end
 
-let merge_candidates env d =
+let merge_candidates env d : candidate Seq.t =
   (* the left-edge register move first: single cheap candidate that
      must never fall to truncation *)
-  left_edge_candidate env d @ merge_simple_candidates d @ chain_candidates env d
-  @ module_share_candidates d
-  @ (if env.allow_embed then module_merge_candidates env d else [])
+  Seq.append (left_edge_candidate env d)
+    (Seq.append (merge_simple_candidates d)
+       (Seq.append (chain_candidates env d)
+          (Seq.append (module_share_candidates d)
+             (if env.allow_embed then module_merge_candidates env d else Seq.empty))))
 
 (* ------------------------------------------------------------------ *)
 (* Move family D: splitting *)
 
-let split_candidates env (d : Design.t) =
+let split_candidates env (d : Design.t) : candidate Seq.t =
   let sch = lazy (Sched.schedule env.ctx env.cs d) in
-  List.concat
-    (List.init (Array.length d.Design.insts) (fun i ->
+  Seq.init (Array.length d.Design.insts) Fun.id
+  |> Seq.concat_map (fun i ->
          let nodes = Design.nodes_on d i in
-         if List.length nodes < 2 then []
+         if List.length nodes < 2 then Seq.empty
          else
            match d.Design.insts.(i) with
            | Design.Simple fu when not (Fu.is_chain fu) ->
-               let sch = Lazy.force sch in
-               let ordered =
-                 List.sort (fun a b -> compare sch.Sched.start.(a) sch.Sched.start.(b)) nodes
-               in
-               let odd = List.filteri (fun k _ -> k mod 2 = 1) ordered in
-               let d', inst = Design.add_inst d (Design.Simple fu) in
-               let d' = List.fold_left (fun acc n -> Design.with_binding acc n inst) d' odd in
-               [ (Split, Printf.sprintf "split I%d (%s)" i fu.Fu.name, d') ]
-           | Design.Simple _ -> []
+               fun () ->
+                 let sch = Lazy.force sch in
+                 let ordered =
+                   List.sort (fun a b -> compare sch.Sched.start.(a) sch.Sched.start.(b)) nodes
+                 in
+                 let odd = List.filteri (fun k _ -> k mod 2 = 1) ordered in
+                 let d', inst = Design.add_inst d (Design.Simple fu) in
+                 let d' =
+                   List.fold_left (fun acc n -> Design.with_binding acc n inst) d' odd
+                 in
+                 Seq.Cons
+                   (((Split, Printf.sprintf "split I%d (%s)" i fu.Fu.name), d'), Seq.empty)
+           | Design.Simple _ -> Seq.empty
            | Design.Module rm ->
-               let sch = Lazy.force sch in
-               let ordered =
-                 List.sort (fun a b -> compare sch.Sched.start.(a) sch.Sched.start.(b)) nodes
-               in
-               let odd = List.filteri (fun k _ -> k mod 2 = 1) ordered in
-               let d', inst = Design.add_inst d (Design.Module rm) in
-               let d' = List.fold_left (fun acc n -> Design.with_binding acc n inst) d' odd in
-               [ (Split, Printf.sprintf "split I%d (%s)" i rm.Design.rm_name, d') ]))
+               fun () ->
+                 let sch = Lazy.force sch in
+                 let ordered =
+                   List.sort (fun a b -> compare sch.Sched.start.(a) sch.Sched.start.(b)) nodes
+                 in
+                 let odd = List.filteri (fun k _ -> k mod 2 = 1) ordered in
+                 let d', inst = Design.add_inst d (Design.Module rm) in
+                 let d' =
+                   List.fold_left (fun acc n -> Design.with_binding acc n inst) d' odd
+                 in
+                 Seq.Cons
+                   (((Split, Printf.sprintf "split I%d (%s)" i rm.Design.rm_name), d'), Seq.empty))
 
 (* ------------------------------------------------------------------ *)
 
 let best_select_or_resynth env cur_value d =
-  best_of env cur_value (select_candidates env d @ resynth_candidates env d)
+  best_of env cur_value (Seq.append (select_candidates env d) (resynth_candidates env d))
 
 let best_merge env cur_value d = best_of env cur_value (merge_candidates env d)
+
 let best_split env cur_value d =
   if env.allow_split then best_of env cur_value (split_candidates env d) else None

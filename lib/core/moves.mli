@@ -17,7 +17,12 @@
 
     Every candidate is validated by rescheduling, and its gain is the
     decrease of the objective (negative gains are legal — the
-    variable-depth pass may accept them). *)
+    variable-depth pass may accept them).
+
+    Candidates are produced lazily and evaluated through the
+    environment's {!Engine.t} — memoized, staged and batched over the
+    worker pool — so [max_candidates] bounds generation work (nested
+    resynthesis, RTL embedding) as well as evaluation. *)
 
 module Design = Hsyn_rtl.Design
 module Sched = Hsyn_sched.Sched
@@ -41,6 +46,7 @@ type env = {
   sampling_ns : float;
   trace : int array list;
   objective : Cost.objective;
+  engine : Engine.t;  (** the evaluation engine all cost queries go through *)
   registry : Registry.t;
   complexes : string -> Design.rtl_module list;
   resynth :

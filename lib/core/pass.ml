@@ -5,17 +5,48 @@ type stats = {
   moves_committed : int;
   moves_tried : int;
   log : string list;
+  engine : Engine.counters;
+  engine_families : (string * Engine.counters) list;
 }
 
 let improve (env : Moves.env) ~max_moves ~max_passes d0 =
-  let value d =
-    Cost.objective_value env.Moves.objective
-      (Cost.evaluate
-         ~with_power:(env.Moves.objective = Cost.Power)
-         env.Moves.ctx env.Moves.cs ~sampling_ns:env.Moves.sampling_ns ~trace:env.Moves.trace d)
+  let eng = env.Moves.engine in
+  let before = Engine.counters eng in
+  let fam_before = Engine.family_counters eng in
+  let value d = Cost.objective_value env.Moves.objective (Engine.evaluate eng d) in
+  let stats =
+    ref
+      {
+        passes = 0;
+        moves_committed = 0;
+        moves_tried = 0;
+        log = [];
+        engine = Engine.zero;
+        engine_families = [];
+      }
   in
-  let stats = ref { passes = 0; moves_committed = 0; moves_tried = 0; log = [] } in
-  if value d0 = infinity then (d0, !stats)
+  let finish current =
+    (* attribute to this run the engine work done since it started *)
+    let delta = Engine.sub (Engine.counters eng) before in
+    let fam_delta =
+      Engine.family_counters eng
+      |> List.map (fun (f, c) ->
+             match List.assoc_opt f fam_before with
+             | Some b -> (f, Engine.sub c b)
+             | None -> (f, c))
+      |> List.filter (fun (_, (c : Engine.counters)) -> c.Engine.generated > 0)
+    in
+    ( current,
+      {
+        passes = !stats.passes;
+        moves_committed = !stats.moves_committed;
+        moves_tried = !stats.moves_tried;
+        log = !stats.log;
+        engine = delta;
+        engine_families = fam_delta;
+      } )
+  in
+  if value d0 = infinity then finish d0
   else begin
     let current = ref d0 in
     let continue_ = ref true in
@@ -78,5 +109,5 @@ let improve (env : Moves.env) ~max_moves ~max_passes d0 =
       end
       else continue_ := false
     done;
-    (!current, !stats)
+    finish !current
   end

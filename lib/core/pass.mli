@@ -15,6 +15,11 @@ type stats = {
   moves_committed : int;
   moves_tried : int;
   log : string list;  (** committed move descriptions, oldest first *)
+  engine : Engine.counters;
+      (** engine work attributed to this improvement run (delta over
+          the run, not process totals) *)
+  engine_families : (string * Engine.counters) list;
+      (** same, per move family, families with no candidates omitted *)
 }
 
 val improve :

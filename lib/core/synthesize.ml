@@ -23,6 +23,7 @@ type config = {
   enable_embed : bool;
   enable_split : bool;
   clib_effort : Clib.effort;
+  engine : Engine.policy;
 }
 
 let default_config =
@@ -40,6 +41,7 @@ let default_config =
     enable_embed = true;
     enable_split = true;
     clib_effort = Clib.default_effort;
+    engine = Engine.default_policy;
   }
 
 type result = {
@@ -73,6 +75,9 @@ let make_resynth config registry complexes seed =
         ~length:config.trace_length
     in
     let sampling_ns = Float.of_int cs.Sched.deadline *. ctx.Design.clk_ns in
+    let engine =
+      Engine.create ~policy:config.engine ~ctx ~cs ~sampling_ns ~trace ~objective ()
+    in
     let env =
       {
         Moves.ctx;
@@ -80,6 +85,7 @@ let make_resynth config registry complexes seed =
         sampling_ns;
         trace;
         objective;
+        engine;
         registry;
         complexes;
         resynth = None;
@@ -132,6 +138,9 @@ let run ?(config = default_config) ~lib registry (dfg : Dfg.t) objective ~sampli
                 if config.enable_resynth then Some (make_resynth config registry complexes config.seed)
                 else None
               in
+              let engine =
+                Engine.create ~policy:config.engine ~ctx ~cs ~sampling_ns ~trace ~objective ()
+              in
               let env =
                 {
                   Moves.ctx;
@@ -139,6 +148,7 @@ let run ?(config = default_config) ~lib registry (dfg : Dfg.t) objective ~sampli
                   sampling_ns;
                   trace;
                   objective;
+                  engine;
                   registry;
                   complexes;
                   resynth;
@@ -156,7 +166,7 @@ let run ?(config = default_config) ~lib registry (dfg : Dfg.t) objective ~sampli
               let improved, stats =
                 Pass.improve env ~max_moves ~max_passes:config.max_passes initial
               in
-              let eval = Cost.evaluate ~with_power:true ctx cs ~sampling_ns ~trace improved in
+              let eval = Engine.evaluate_with_power engine improved in
               if eval.Cost.feasible then begin
                 let value = Cost.objective_value objective eval in
                 match !best with
@@ -216,9 +226,14 @@ let rescale_vdd ?(config = default_config) (r : result) vdds =
           if deadline >= 1 then begin
             let ctx = { r.ctx with Design.vdd; clk_ns } in
             let cs = Sched.relaxed ~deadline r.design.Design.dfg in
-            let eval =
-              Cost.evaluate ~with_power:true ctx cs ~sampling_ns:r.sampling_ns ~trace r.design
+            (* each (vdd, clk) point is its own evaluation context, so
+               each gets its own (tiny) engine *)
+            let engine =
+              Engine.create
+                ~policy:{ config.engine with Engine.cache_capacity = 4 }
+                ~ctx ~cs ~sampling_ns:r.sampling_ns ~trace ~objective:r.objective ()
             in
+            let eval = Engine.evaluate_with_power engine r.design in
             if eval.Cost.feasible && eval.Cost.power < !best.eval.Cost.power then
               best := { r with ctx; eval; deadline_cycles = deadline }
           end)

@@ -27,6 +27,9 @@ type config = {
   enable_embed : bool;  (** allow complex-module merging via RTL embedding *)
   enable_split : bool;  (** allow move family D *)
   clib_effort : Clib.effort;
+  engine : Engine.policy;
+      (** evaluation-engine policy (jobs, cache capacity, staging) used
+          by every improvement run of this synthesis *)
 }
 
 val default_config : config

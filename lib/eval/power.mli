@@ -24,6 +24,15 @@ val energy_per_sample :
 (** Average switched capacitance per design invocation over the given
     trace (raw cap units, no voltage scaling). *)
 
+val energy_floor : Design.ctx -> Design.t -> makespan:int -> n_samples:int -> float
+(** Trace-independent lower bound on {!energy_per_sample} for a design
+    whose schedule has the given makespan, over a trace of [n_samples]
+    invocations: the controller, register-clocking and idle-switching
+    charges, which do not depend on data activity. The evaluation
+    engine's staged mode uses it to prove a candidate cannot beat the
+    incumbent without running the trace simulation. [0.] when
+    [n_samples <= 0] (the simulation then reports zero energy). *)
+
 val power :
   Design.ctx -> Sched.constraints -> Design.t -> int array list -> sampling_ns:float -> float
 (** [energy_per_sample · V²-factor / sampling period] — normalized

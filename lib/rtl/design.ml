@@ -50,6 +50,89 @@ let value_of_index dfg idx =
   if idx < 0 || idx >= offsets.(n) then invalid_arg "Design.value_of_index";
   search 0 n
 
+let consumer_index (dfg : Dfg.t) =
+  let offsets = value_offsets dfg in
+  let acc = Array.make offsets.(Array.length dfg.nodes) [] in
+  Array.iteri
+    (fun dst (node : Dfg.node) ->
+      Array.iteri
+        (fun port ({ Dfg.node = src; out } : Dfg.port) ->
+          acc.(offsets.(src) + out) <- (dst, port) :: acc.(offsets.(src) + out))
+        node.Dfg.ins)
+    dfg.nodes;
+  Array.map List.rev acc
+
+(* ------------------------------------------------------------------ *)
+(* Structural fingerprinting (FNV-1a over the full structure).
+
+   Keys the evaluation engine's cost cache: two designs with equal
+   fingerprints are re-checked with structural equality before a cache
+   hit is accepted, so collisions cost a recomputation, never a wrong
+   answer. *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let mix h x = Int64.mul (Int64.logxor h x) fnv_prime
+let mix_int h i = mix h (Int64.of_int i)
+let mix_float h f = mix h (Int64.bits_of_float f)
+
+let mix_string h s =
+  let h = ref (mix_int h (String.length s)) in
+  String.iter (fun c -> h := mix_int !h (Char.code c)) s;
+  !h
+
+let hash_dfg h (dfg : Dfg.t) =
+  let h = ref (mix_string h dfg.Dfg.name) in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      (h :=
+         match node.Dfg.kind with
+         | Dfg.Input -> mix_int !h 1
+         | Dfg.Output -> mix_int !h 2
+         | Dfg.Const c -> mix_int (mix_int !h 3) c
+         | Dfg.Delay init -> mix_int (mix_int !h 4) init
+         | Dfg.Op op -> mix_string (mix_int !h 5) (Op.name op)
+         | Dfg.Call b -> mix_string (mix_int !h 6) b);
+      h := mix_int !h node.Dfg.n_out;
+      Array.iter
+        (fun ({ Dfg.node = src; out } : Dfg.port) -> h := mix_int (mix_int !h src) out)
+        node.Dfg.ins)
+    dfg.Dfg.nodes;
+  !h
+
+let hash_fu h (fu : Fu.t) =
+  let h = mix_string h fu.Fu.name in
+  let h =
+    match fu.Fu.kind with
+    | Fu.Unit ops -> List.fold_left (fun h op -> mix_string h (Op.name op)) (mix_int h 1) ops
+    | Fu.Chain (op, k) -> mix_int (mix_string (mix_int h 2) (Op.name op)) k
+  in
+  let h = mix_float (mix_float (mix_float h fu.Fu.area) fu.Fu.delay_ns) fu.Fu.energy_cap in
+  mix_int h (if fu.Fu.pipelined then 1 else 0)
+
+let rec hash_design h (d : t) =
+  let h = ref (hash_dfg h d.dfg) in
+  Array.iter
+    (fun kind ->
+      h :=
+        match kind with
+        | Simple fu -> hash_fu (mix_int !h 7) fu
+        | Module rm -> hash_module (mix_int !h 8) rm)
+    d.insts;
+  Array.iter (fun i -> h := mix_int !h i) d.node_inst;
+  Array.iter (fun r -> h := mix_int !h r) d.value_reg;
+  mix_int !h d.n_regs
+
+and hash_module h (rm : rtl_module) =
+  let h = ref (mix_string h rm.rm_name) in
+  List.iter
+    (fun (behavior, part) -> h := hash_design (mix_string !h behavior) part)
+    rm.parts;
+  !h
+
+let fingerprint d = hash_design fnv_offset d
+
 (* ------------------------------------------------------------------ *)
 (* Module queries *)
 

@@ -60,6 +60,20 @@ val value_index : Dfg.t -> Dfg.port -> int
 val value_of_index : Dfg.t -> int -> Dfg.port
 (** Inverse of {!value_index}. *)
 
+val consumer_index : Dfg.t -> (int * int) list array
+(** Per value index, the [(consumer node, input port)] pairs reading
+    the value, in ascending consumer order — built in one pass over
+    the graph. Replaces per-query O(nodes × ports) rescans in the move
+    generators. *)
+
+val fingerprint : t -> int64
+(** Structural 64-bit FNV-1a fingerprint of the design — the DFG, the
+    instance types (recursively through module parts), the node and
+    register bindings. Two structurally equal designs have equal
+    fingerprints; the evaluation engine uses this as its cost-cache
+    key (verifying candidates against cached designs with structural
+    equality, so a collision can never yield a wrong evaluation). *)
+
 (** {1 Module queries} *)
 
 val module_part : rtl_module -> string -> t

@@ -42,17 +42,28 @@ module Profile_tbl = Hashtbl.Make (Profile_key)
 
 let profile_cache : (string * float * float * profile) list Profile_tbl.t = Profile_tbl.create 64
 
+(* The cache is shared by the evaluation engine's worker domains, so
+   every access must hold the lock. Profiles are pure functions of the
+   key: losing a concurrent-insert race only recomputes. *)
+let profile_lock = Mutex.create ()
+
 let rec module_profile ctx rm behavior =
   let key = (behavior, ctx.Design.vdd, ctx.Design.clk_ns) in
+  Mutex.lock profile_lock;
   let cached = try Profile_tbl.find profile_cache rm with Not_found -> [] in
-  match
+  let hit =
     List.find_opt (fun (b, v, c, _) -> b = behavior && v = ctx.Design.vdd && c = ctx.Design.clk_ns) cached
-  with
+  in
+  Mutex.unlock profile_lock;
+  match hit with
   | Some (_, _, _, p) -> p
   | None ->
       let p = compute_module_profile ctx rm behavior in
       let b, v, c = key in
+      Mutex.lock profile_lock;
+      let cached = try Profile_tbl.find profile_cache rm with Not_found -> [] in
       Profile_tbl.replace profile_cache rm ((b, v, c, p) :: cached);
+      Mutex.unlock profile_lock;
       p
 
 and compute_module_profile ctx rm behavior =

@@ -1,0 +1,119 @@
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable domains : unit Domain.t list;
+  mutable stopping : bool;
+}
+
+let jobs t = t.jobs
+
+let default_jobs () =
+  match Sys.getenv_opt "HSYN_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker t
+  end
+
+let create jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      domains = [];
+      stopping = false;
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_lock = Mutex.create ()
+let at_exit_registered = ref false
+
+let shared jobs =
+  let jobs = max 1 jobs in
+  Mutex.lock shared_lock;
+  let t =
+    match Hashtbl.find_opt shared_pools jobs with
+    | Some t -> t
+    | None ->
+        let t = create jobs in
+        Hashtbl.replace shared_pools jobs t;
+        if not !at_exit_registered then begin
+          at_exit_registered := true;
+          (* join workers before process teardown so no domain is left
+             blocked in [Condition.wait] when the runtime exits *)
+          at_exit (fun () -> Hashtbl.iter (fun _ t -> shutdown t) shared_pools)
+        end;
+        t
+  in
+  Mutex.unlock shared_lock;
+  t
+
+let map_array t f arr =
+  let n = Array.length arr in
+  if t.jobs = 1 || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let pending = ref n in
+    let first_error = ref None in
+    let all_done = Condition.create () in
+    let task i () =
+      let r =
+        try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      (match r with
+      | Ok v -> results.(i) <- Some v
+      | Error err -> if !first_error = None then first_error := Some err);
+      decr pending;
+      if !pending = 0 then Condition.broadcast all_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    (* the caller helps drain the queue, then waits for stragglers
+       running on worker domains *)
+    while not (Queue.is_empty t.queue) do
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      Mutex.lock t.mutex
+    done;
+    while !pending > 0 do
+      Condition.wait all_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,40 @@
+(** Fixed-size domain worker pool for batch candidate evaluation.
+
+    A pool of [jobs - 1] worker domains plus the calling domain drains
+    a shared task queue; [map_array] blocks until every element is
+    processed, with the caller participating, so a pool of size 1
+    degenerates to plain sequential [Array.map] with no domains
+    spawned and no synchronization cost. Tasks must be pure with
+    respect to shared state (the evaluation kernels are; the one
+    global cache they touch, the scheduler's profile memo, is
+    internally locked).
+
+    Pools are cheap to hold but expensive to create (one [Domain.spawn]
+    per worker), so callers should obtain them through {!shared}, which
+    memoizes one pool per size for the lifetime of the process. *)
+
+type t
+
+val create : int -> t
+(** [create jobs] spawns [max 1 jobs - 1] worker domains. *)
+
+val shared : int -> t
+(** Process-wide memoized pool of the given size; created on first
+    request, reused afterwards, torn down at exit. *)
+
+val jobs : t -> int
+(** Parallelism degree, including the calling domain. *)
+
+val default_jobs : unit -> int
+(** The [HSYN_JOBS] environment variable if set to a positive integer,
+    else 1. The CLI's [--jobs] flag overrides this. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. Deterministic: the result at index [i] is
+    [f arr.(i)] regardless of the pool size or task interleaving. If
+    any task raises, the first exception observed is re-raised in the
+    caller after all tasks finish. Must not be called re-entrantly
+    from inside a task. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool must be idle. *)

@@ -19,6 +19,22 @@ let stddev = function
 let minimum = function [] -> 0. | x :: rest -> List.fold_left Float.min x rest
 let maximum = function [] -> 0. | x :: rest -> List.fold_left Float.max x rest
 
+let percentile p = function
+  | [] -> 0.
+  | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      let n = Array.length a in
+      let p = Float.max 0. (Float.min 100. p) in
+      (* linear interpolation between closest ranks *)
+      let rank = p /. 100. *. Float.of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. Float.of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median l = percentile 50. l
+
 let ratio num den = if den = 0. then 0. else num /. den
 
 let round_to digits x =

@@ -13,6 +13,13 @@ val stddev : float list -> float
 val minimum : float list -> float
 val maximum : float list -> float
 
+val percentile : float -> float list -> float
+(** [percentile p l] is the [p]-th percentile (0–100, clamped) of the
+    values, linearly interpolated between closest ranks. *)
+
+val median : float list -> float
+(** [median l = percentile 50. l]. *)
+
 val ratio : float -> float -> float
 (** [ratio num den] is [num /. den], or [0.] if [den = 0.]. *)
 

@@ -10,6 +10,7 @@ module Library = Hsyn_modlib.Library
 module Fu = Hsyn_modlib.Fu
 module Sched = Hsyn_sched.Sched
 module Cost = Hsyn_core.Cost
+module Engine = Hsyn_core.Engine
 module Moves = Hsyn_core.Moves
 module Pass = Hsyn_core.Pass
 module Clib = Hsyn_core.Clib
@@ -23,12 +24,15 @@ let _lib = Library.default
 let env ?(registry = Registry.create ()) ?(objective = Cost.Area) ?(deadline = 1000)
     ?(complexes = Tu.no_complexes) (dfg : Dfg.t) =
   let cs = Sched.relaxed ~deadline dfg in
+  let sampling_ns = Float.of_int deadline *. 20. in
+  let trace = Tu.trace dfg in
   {
     Moves.ctx;
     cs;
-    sampling_ns = Float.of_int deadline *. 20.;
-    trace = Tu.trace dfg;
+    sampling_ns;
+    trace;
     objective;
+    engine = Engine.create ~ctx ~cs ~sampling_ns ~trace ~objective ();
     registry;
     complexes;
     resynth = None;
@@ -145,13 +149,16 @@ let test_move_b_resynthesizes_with_slack () =
   let registry, g = Tu.hier_graph () in
   let d = Tu.initial ~registry ctx g in
   let resynth ctx cs objective part =
+    let sampling_ns = Float.of_int cs.Sched.deadline *. 20. in
+    let trace = Tu.trace part.Design.dfg in
     let e =
       {
         Moves.ctx;
         cs;
-        sampling_ns = Float.of_int cs.Sched.deadline *. 20.;
-        trace = Tu.trace part.Design.dfg;
+        sampling_ns;
+        trace;
         objective;
+        engine = Engine.create ~ctx ~cs ~sampling_ns ~trace ~objective ();
         registry;
         complexes = Tu.no_complexes;
         resynth = None;

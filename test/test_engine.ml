@@ -1,0 +1,330 @@
+(* Tests for the staged, memoized, parallel evaluation engine and its
+   supporting pieces (worker pool, fingerprinting, order statistics).
+
+   The central property: the engine is an optimization of the cost
+   oracle, never a change to it. Every result must be bit-identical to
+   a direct Cost.evaluate call, for both objectives, at any jobs
+   count, with the cache and staging on or off. *)
+
+module Design = Hsyn_rtl.Design
+module Dfg = Hsyn_dfg.Dfg
+module Library = Hsyn_modlib.Library
+module Fu = Hsyn_modlib.Fu
+module Sched = Hsyn_sched.Sched
+module Cost = Hsyn_core.Cost
+module Engine = Hsyn_core.Engine
+module Clib = Hsyn_core.Clib
+module S = Hsyn_core.Synthesize
+module Suite = Hsyn_benchmarks.Suite
+module Pool = Hsyn_util.Pool
+module Stats = Hsyn_util.Stats
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+let ctx = Tu.ctx ()
+
+(* Bitwise equality of evaluations, nan-tolerant (nan = power not
+   computed must match on both sides). *)
+let same_eval (a : Cost.eval) (b : Cost.eval) =
+  Int64.bits_of_float a.Cost.area = Int64.bits_of_float b.Cost.area
+  && Int64.bits_of_float a.Cost.power = Int64.bits_of_float b.Cost.power
+  && Int64.bits_of_float a.Cost.energy_sample = Int64.bits_of_float b.Cost.energy_sample
+  && a.Cost.makespan = b.Cost.makespan
+  && a.Cost.feasible = b.Cost.feasible
+
+let mk_engine ?policy ?(objective = Cost.Area) ?(deadline = 1000) (d : Design.t) =
+  let cs = Sched.relaxed ~deadline d.Design.dfg in
+  let sampling_ns = Float.of_int deadline *. 20. in
+  let trace = Tu.trace d.Design.dfg in
+  ( Engine.create ?policy ~ctx ~cs ~sampling_ns ~trace ~objective (),
+    fun ?(with_power = objective = Cost.Power) dd ->
+      Cost.evaluate ~with_power ctx cs ~sampling_ns ~trace dd )
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map_array () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.shared jobs in
+      checki "jobs" jobs (Pool.jobs pool);
+      let input = Array.init 100 Fun.id in
+      let out = Pool.map_array pool (fun x -> x * x) input in
+      Alcotest.check (Alcotest.array Alcotest.int) "squares"
+        (Array.map (fun x -> x * x) input)
+        out;
+      checkb "empty ok" true (Pool.map_array pool (fun x -> x) [||] = [||]))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.shared jobs in
+      match Pool.map_array pool (fun x -> if x = 5 then raise (Boom x) else x) (Array.init 10 Fun.id) with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Boom 5 -> ())
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Stats order statistics *)
+
+let test_stats_median_percentile () =
+  checkf "median empty" 0. (Stats.median []);
+  checkf "median singleton" 3. (Stats.median [ 3. ]);
+  checkf "median odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  checkf "median even" 2.5 (Stats.median [ 4.; 1.; 3.; 2. ]);
+  let l = List.init 101 Float.of_int in
+  checkf "p0 is min" 0. (Stats.percentile 0. l);
+  checkf "p100 is max" 100. (Stats.percentile 100. l);
+  checkf "p25" 25. (Stats.percentile 25. l);
+  checkf "p90" 90. (Stats.percentile 90. l);
+  checkf "clamped" 100. (Stats.percentile 150. l);
+  checkf "interpolates" 0.5 (Stats.percentile 50. [ 0.; 1. ])
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints *)
+
+let test_fingerprint_stability () =
+  let d = Tu.initial ctx (Tu.small_graph ()) in
+  checkb "deterministic" true (Design.fingerprint d = Design.fingerprint d);
+  let d2 = Tu.initial ctx (Tu.small_graph ()) in
+  checkb "structural" true (Design.fingerprint d = Design.fingerprint d2);
+  (* any structural change must (with overwhelming probability) move
+     the fingerprint *)
+  let alt =
+    match d.Design.insts.(0) with
+    | Design.Simple fu -> (
+        match Library.alternatives Library.default fu with
+        | a :: _ -> Design.with_inst d 0 (Design.Simple a)
+        | [] -> Alcotest.fail "no alternatives in default library")
+    | Design.Module _ -> Alcotest.fail "expected simple instance"
+  in
+  checkb "sensitive to instances" true (Design.fingerprint d <> Design.fingerprint alt)
+
+let test_consumer_index_matches_rescan () =
+  List.iter
+    (fun seed ->
+      let g = Tu.random_flat_graph seed ~n_inputs:3 ~n_ops:12 in
+      let idx = Design.consumer_index g in
+      (* reference: whole-graph rescan *)
+      for v = 0 to Design.n_values g - 1 do
+        let p = Design.value_of_index g v in
+        let expect = ref [] in
+        Array.iteri
+          (fun dst (node : Dfg.node) ->
+            Array.iteri (fun port src -> if src = p then expect := (dst, port) :: !expect) node.Dfg.ins)
+          g.Dfg.nodes;
+        checkb "same consumers" true
+          (List.sort compare idx.(v) = List.sort compare !expect)
+      done)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine ≡ Cost.evaluate *)
+
+let suite_designs () =
+  List.map
+    (fun (b : Suite.t) -> Tu.initial ~registry:b.Suite.registry ctx b.Suite.dfg)
+    (Suite.all ())
+
+let test_engine_equals_direct () =
+  List.iter
+    (fun objective ->
+      List.iter
+        (fun d ->
+          let eng, direct = mk_engine ~objective d in
+          let via_engine = Engine.evaluate eng d in
+          checkb "evaluate matches direct" true (same_eval via_engine (direct d));
+          (* second query: must hit the cache and return the same bits *)
+          let again = Engine.evaluate eng d in
+          checkb "cached result identical" true (same_eval via_engine again);
+          checkb "cache hit counted" true ((Engine.counters eng).Engine.cache_hits >= 1);
+          (* full-power query upgrades in place and matches a direct
+             full evaluation *)
+          let full = Engine.evaluate_with_power eng d in
+          checkb "with-power matches direct" true (same_eval full (direct ~with_power:true d)))
+        (suite_designs ()))
+    [ Cost.Area; Cost.Power ]
+
+let test_engine_random_graphs () =
+  List.iter
+    (fun seed ->
+      let g = Tu.random_flat_graph seed ~n_inputs:3 ~n_ops:10 in
+      let d = Tu.initial ctx g in
+      List.iter
+        (fun objective ->
+          List.iter
+            (fun policy ->
+              let eng, direct = mk_engine ~policy ~objective d in
+              checkb "policy-independent" true (same_eval (Engine.evaluate eng d) (direct d)))
+            [
+              { Engine.jobs = 1; cache_capacity = 0; staged = false };
+              { Engine.jobs = 4; cache_capacity = 64; staged = true };
+            ])
+        [ Cost.Area; Cost.Power ])
+    (List.init 8 succ)
+
+(* [best_of] against a sequential reference fold over the same
+   candidates (earliest-wins tie-breaking, full evaluation of every
+   candidate). *)
+let test_best_of_matches_reference () =
+  let d = Tu.initial ctx (Tu.small_graph ()) in
+  let lib = Library.default in
+  let variants =
+    List.concat
+      (List.init
+         (Array.length d.Design.insts)
+         (fun i ->
+           match d.Design.insts.(i) with
+           | Design.Simple fu ->
+               List.map (fun alt -> Design.with_inst d i (Design.Simple alt)) (Library.alternatives lib fu)
+           | Design.Module _ -> []))
+  in
+  checkb "have variants" true (List.length variants > 2);
+  List.iter
+    (fun objective ->
+      List.iter
+        (fun policy ->
+          let eng, direct = mk_engine ~policy ~objective d in
+          let tagged = List.mapi (fun i v -> (i, v)) variants in
+          let reference =
+            List.fold_left
+              (fun best (i, v) ->
+                let e = direct ~with_power:true v in
+                let value = Cost.objective_value objective e in
+                if value = infinity then best
+                else
+                  match best with
+                  | Some (_, _, bv) when bv <= value -> best
+                  | _ -> Some (i, e, value))
+              None tagged
+          in
+          match
+            ( Engine.best_of eng ~limit:max_int (List.to_seq tagged),
+              reference )
+          with
+          | None, None -> ()
+          | Some _, None | None, Some _ -> Alcotest.fail "feasibility disagreement"
+          | Some (i, _, e, value), Some (ri, re, rvalue) ->
+              checki "same winner" ri i;
+              checkb "same value" true (Int64.bits_of_float value = Int64.bits_of_float rvalue);
+              checkb "same area bits" true
+                (Int64.bits_of_float e.Cost.area = Int64.bits_of_float re.Cost.area);
+              (* power mode must have fully evaluated the winner *)
+              if objective = Cost.Power then
+                checkb "winner power bits" true
+                  (Int64.bits_of_float e.Cost.power = Int64.bits_of_float re.Cost.power))
+        [
+          { Engine.jobs = 1; cache_capacity = 0; staged = false };
+          { Engine.jobs = 1; cache_capacity = 128; staged = true };
+          { Engine.jobs = 4; cache_capacity = 128; staged = true };
+        ])
+    [ Cost.Area; Cost.Power ]
+
+let test_best_of_limit_and_counters () =
+  let d = Tu.initial ctx (Tu.small_graph ()) in
+  let eng, _ = mk_engine ~objective:Cost.Area d in
+  let pulled = ref 0 in
+  let seq =
+    Seq.map
+      (fun i ->
+        incr pulled;
+        (i, d))
+      (Seq.init 50 Fun.id)
+  in
+  (match Engine.best_of eng ~limit:5 seq with
+  | Some (0, _, _, _) -> ()
+  | _ -> Alcotest.fail "expected candidate 0");
+  checki "generation truncated" 5 !pulled;
+  let c = Engine.counters eng in
+  checki "generated" 5 c.Engine.generated;
+  checki "batches" 1 c.Engine.batches;
+  (* 5 identical designs: one miss, then in-batch hits *)
+  checki "one schedule computed" 1 c.Engine.evaluated;
+  checki "hits" 4 c.Engine.cache_hits
+
+let test_cache_eviction () =
+  let designs = List.init 5 (fun s -> Tu.initial ctx (Tu.random_flat_graph (100 + s) ~n_inputs:2 ~n_ops:6)) in
+  let eng, _ =
+    mk_engine ~policy:{ Engine.jobs = 1; cache_capacity = 2; staged = true } (List.hd designs)
+  in
+  List.iter (fun d -> ignore (Engine.evaluate eng d)) designs;
+  checkb "capacity respected" true (Engine.cache_size eng <= 2);
+  checkb "evictions counted" true ((Engine.counters eng).Engine.evictions >= 3)
+
+let test_family_counters () =
+  let d = Tu.initial ctx (Tu.small_graph ()) in
+  let eng, _ = mk_engine ~objective:Cost.Area d in
+  ignore
+    (Engine.best_of eng
+       ~family:(fun i -> if i mod 2 = 0 then "even" else "odd")
+       ~limit:10
+       (Seq.init 10 (fun i -> (i, d))));
+  match Engine.family_counters eng with
+  | [ ("even", ce); ("odd", co) ] ->
+      checki "even generated" 5 ce.Engine.generated;
+      checki "odd generated" 5 co.Engine.generated
+  | l -> Alcotest.failf "unexpected families (%d)" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism: full synthesis must produce bit-identical
+   results at any jobs count, and with the engine machinery disabled. *)
+
+let test_synthesis_determinism () =
+  let b = Suite.test1 () in
+  let min_ns = S.min_sampling_ns Library.default b.Suite.registry b.Suite.dfg in
+  let run policy =
+    let config =
+      {
+        S.default_config with
+        S.max_moves = 4;
+        max_passes = 1;
+        max_candidates = 16;
+        trace_length = 6;
+        max_clocks = 1;
+        clib_effort =
+          { Clib.default_effort with Clib.max_moves = 2; max_passes = 1; engine = policy };
+        engine = policy;
+      }
+    in
+    let r =
+      S.run ~config ~lib:Library.default b.Suite.registry b.Suite.dfg Cost.Power
+        ~sampling_ns:(2.2 *. min_ns)
+    in
+    r.S.eval
+  in
+  let direct = run { Engine.jobs = 1; cache_capacity = 0; staged = false } in
+  let seq = run { Engine.jobs = 1; cache_capacity = 4096; staged = true } in
+  let par = run { Engine.jobs = 4; cache_capacity = 4096; staged = true } in
+  checkb "engine-on equals direct" true (same_eval direct seq);
+  checkb "jobs=4 equals jobs=1" true (same_eval seq par)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          tc "map_array" test_pool_map_array;
+          tc "exception propagates" test_pool_exception_propagates;
+        ] );
+      ("stats", [ tc "median/percentile" test_stats_median_percentile ]);
+      ( "fingerprint",
+        [
+          tc "stability" test_fingerprint_stability;
+          tc "consumer index" test_consumer_index_matches_rescan;
+        ] );
+      ( "engine",
+        [
+          tc "equals direct on suite" test_engine_equals_direct;
+          tc "random graphs, all policies" test_engine_random_graphs;
+          tc "best_of matches reference" test_best_of_matches_reference;
+          tc "limit and counters" test_best_of_limit_and_counters;
+          tc "cache eviction" test_cache_eviction;
+          tc "family counters" test_family_counters;
+        ] );
+      ("determinism", [ tc "jobs-independent synthesis" test_synthesis_determinism ]);
+    ]
