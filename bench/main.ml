@@ -35,6 +35,7 @@ module Suite = Hsyn_benchmarks.Suite
 module Table = Hsyn_util.Table
 module Stats = Hsyn_util.Stats
 module Rng = Hsyn_util.Rng
+module Json = Hsyn_util.Json
 
 let lib = Library.default
 
@@ -502,10 +503,9 @@ let engine_section () =
     Table.create
       ~header:[ "case"; "direct (s)"; "engine (s)"; "speedup"; "cache hits"; "sims skipped"; "identical" ]
   in
-  let json = Buffer.create 512 in
-  Printf.bprintf json "{\"jobs\":%d,\"repeats\":%d,\"cases\":[" jobs repeats;
-  List.iteri
-    (fun ci ((b : Suite.t), objective, lf) ->
+  let case_objs = ref [] in
+  List.iter
+    (fun ((b : Suite.t), objective, lf) ->
       let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
       let sampling_ns = lf *. min_ns in
       let case = Printf.sprintf "%s/%s/%.1f" b.Suite.name (Cost.objective_name objective) lf in
@@ -540,15 +540,32 @@ let engine_section () =
           Printf.sprintf "%d/%d" c.Engine.power_skipped (c.Engine.power_sims + c.Engine.power_skipped);
           (if identical then "yes" else "NO");
         ];
-      Printf.bprintf json
-        "%s{\"case\":\"%s\",\"direct_s\":%.4f,\"engine_s\":%.4f,\"speedup\":%.3f,\"cache_hit_rate\":%.4f,\"power_sims\":%d,\"power_skipped\":%d,\"identical\":%b}"
-        (if ci = 0 then "" else ",")
-        case base_med eng_med speedup (hit_rate /. 100.) c.Engine.power_sims c.Engine.power_skipped
-        identical)
+      case_objs :=
+        Json.Obj
+          [
+            ("case", Json.String case);
+            ("direct_s", Json.Float base_med);
+            ("engine_s", Json.Float eng_med);
+            ("speedup", Json.Float speedup);
+            ("cache_hit_rate", Json.Float (hit_rate /. 100.));
+            ("power_sims", Json.Int c.Engine.power_sims);
+            ("power_skipped", Json.Int c.Engine.power_skipped);
+            ("identical", Json.Bool identical);
+            ("result", S.Result.to_json_value (fst (List.hd eng_runs)));
+          ]
+        :: !case_objs)
     cases;
-  Buffer.add_string json "]}";
+  let json =
+    Json.Obj
+      [
+        ("jobs", Json.Int jobs);
+        ("repeats", Json.Int repeats);
+        ("result_schema_version", Json.Int S.Result.schema_version);
+        ("cases", Json.List (List.rev !case_objs));
+      ]
+  in
   Table.print t;
-  Printf.printf "engine-json: %s\n" (Buffer.contents json);
+  Printf.printf "engine-json: %s\n" (Json.to_string json);
   Printf.printf
     "Reading: \"identical\" confirms the engine is result-preserving — memoization,\n\
      staged power evaluation and the worker pool change how candidates are costed,\n\

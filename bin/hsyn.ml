@@ -20,6 +20,8 @@ module Fsm = Hsyn_eval.Fsm
 module Cost = Hsyn_core.Cost
 module Clib = Hsyn_core.Clib
 module Engine = Hsyn_core.Engine
+module Budget = Hsyn_core.Budget
+module Events = Hsyn_core.Events
 module S = Hsyn_core.Synthesize
 module Suite = Hsyn_benchmarks.Suite
 open Cmdliner
@@ -32,15 +34,12 @@ let load_input bench file dfg_name =
       | None -> Error (Printf.sprintf "unknown benchmark %S (try 'hsyn list')" name))
   | None, Some path -> (
       match Text.parse_file path with
-      | { Text.registry; graphs } -> (
-          let pick =
-            match dfg_name with
-            | None -> ( match graphs with [ g ] -> Some g | g :: _ -> Some g | [] -> None)
-            | Some n -> List.find_opt (fun (g : Dfg.t) -> g.Dfg.name = n) graphs
-          in
-          match pick with
-          | Some g -> Ok (registry, g)
-          | None -> Error "no matching dfg block in file")
+      | program -> (
+          match Text.select_graph ?name:dfg_name program with
+          | Ok g -> Ok (program.Text.registry, g)
+          | Error msg ->
+              if dfg_name = None then Error (Printf.sprintf "%s: %s (use --dfg)" path msg)
+              else Error (Printf.sprintf "%s: %s" path msg))
       | exception Text.Parse_error (line, msg) ->
           Error (Printf.sprintf "%s:%d: %s" path line msg)
       | exception Sys_error msg -> Error msg)
@@ -50,7 +49,32 @@ let load_input bench file dfg_name =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let do_synth bench file dfg_name objective lf sampling mode seed jobs show_stats show_rtl show_fsm show_sched show_verilog =
+(* Compose the CLI's progress/NDJSON observers into one event sink.
+   Progress goes to stderr so --json output stays machine-clean. *)
+let make_events ~progress ~events_json =
+  let ndjson =
+    match events_json with
+    | None -> None
+    | Some "-" -> Some (stdout, false)
+    | Some path -> Some (open_out path, true)
+  in
+  let sink (e : Events.t) =
+    if progress then (
+      prerr_endline (Events.to_string e);
+      flush stderr);
+    match ndjson with
+    | None -> ()
+    | Some (oc, _) ->
+        output_string oc (Events.to_json e);
+        output_char oc '\n';
+        flush oc
+  in
+  let close () = match ndjson with Some (oc, true) -> close_out oc | _ -> () in
+  (sink, close)
+
+let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
+    progress events_json checkpoint resume json show_stats show_rtl show_fsm show_sched
+    show_verilog =
   match load_input bench file dfg_name with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
@@ -75,43 +99,83 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs show_stats
           clib_effort = { Clib.default_effort with Clib.engine = policy };
         }
       in
-      let run = if mode = "flat" then S.run_flat else S.run in
-      Printf.printf "behavior %s: %d operations after flattening, minimum sampling %.1f ns\n"
-        dfg.Dfg.name
-        (Flatten.total_operations registry dfg)
-        min_ns;
-      Printf.printf "synthesizing for %s, sampling period %.1f ns (laxity %.2f)\n%!"
-        (Cost.objective_name objective) sampling_ns (sampling_ns /. min_ns);
-      match run ~config ~lib registry dfg objective ~sampling_ns with
-      | exception Failure msg ->
+      let request =
+        Result.bind (Budget.make ?deadline_s:budget_s ?max_contexts ()) (fun budget ->
+            S.Request.make ~config ~budget
+              ~flatten:(mode = "flat")
+              ~lib ~registry ~dfg ~objective ~sampling_ns ())
+      in
+      match request with
+      | Error msg ->
           prerr_endline ("hsyn: " ^ msg);
           1
-      | r ->
-          Printf.printf "\nresult:\n";
-          Printf.printf "  V_dd          : %.1f V\n" r.S.ctx.Design.vdd;
-          Printf.printf "  clock period  : %.1f ns\n" r.S.ctx.Design.clk_ns;
-          Printf.printf "  schedule      : %d cycles (deadline %d)\n" r.S.eval.Cost.makespan
-            r.S.deadline_cycles;
-          Printf.printf "  area          : %.1f\n" r.S.eval.Cost.area;
-          Printf.printf "  power         : %.3f\n" r.S.eval.Cost.power;
-          Printf.printf "  synthesis time: %.2f s (%d contexts, %d moves)\n" r.S.elapsed_s
-            r.S.contexts_tried r.S.stats.Hsyn_core.Pass.moves_committed;
-          if show_stats then begin
-            Printf.printf "\nevaluation engine (jobs %d, cache %d, staging %s):\n"
-              policy.Engine.jobs policy.Engine.cache_capacity
-              (if policy.Engine.staged then "on" else "off");
-            Format.printf "  total        %a@." Engine.pp_counters (Engine.global_counters ());
-            List.iter
-              (fun (fam, c) -> Format.printf "  %-12s %a@." fam Engine.pp_counters c)
-              (Engine.global_family_counters ())
+      | Ok req -> (
+          if not json then begin
+            Printf.printf
+              "behavior %s: %d operations after flattening, minimum sampling %.1f ns\n"
+              dfg.Dfg.name
+              (Flatten.total_operations registry dfg)
+              min_ns;
+            Printf.printf "synthesizing for %s, sampling period %.1f ns (laxity %.2f)\n%!"
+              (Cost.objective_name objective) sampling_ns (sampling_ns /. min_ns)
           end;
-          if show_rtl then Format.printf "@.%a@." Design.pp r.S.design;
-          let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
-          let sch = Sched.schedule r.S.ctx cs r.S.design in
-          if show_sched then Format.printf "@.%a@." Sched.pp_schedule (r.S.design, sch);
-          if show_fsm then Format.printf "@.%a@." Fsm.pp (Fsm.generate r.S.design sch);
-          if show_verilog then print_string (Hsyn_eval.Netlist.emit r.S.ctx r.S.design sch);
-          0)
+          let token = Budget.start req.S.Request.budget in
+          (* first Ctrl-C cancels cooperatively; a second one kills *)
+          let previous =
+            Sys.signal Sys.sigint
+              (Sys.Signal_handle
+                 (fun _ ->
+                   if Budget.cancelled token then exit 130
+                   else begin
+                     prerr_endline "hsyn: interrupt — finishing current move, Ctrl-C again to kill";
+                     Budget.cancel token
+                   end))
+          in
+          let events, close_events = make_events ~progress ~events_json in
+          let outcome =
+            Fun.protect
+              ~finally:(fun () ->
+                close_events ();
+                Sys.set_signal Sys.sigint previous)
+              (fun () -> S.synthesize ~events ~token ?checkpoint ~resume req)
+          in
+          match outcome with
+          | Error msg ->
+              prerr_endline ("hsyn: " ^ msg);
+              1
+          | Ok r when json ->
+              print_endline (S.Result.to_json r);
+              0
+          | Ok r ->
+              Printf.printf "\nresult:\n";
+              Printf.printf "  V_dd          : %.1f V\n" r.S.ctx.Design.vdd;
+              Printf.printf "  clock period  : %.1f ns\n" r.S.ctx.Design.clk_ns;
+              Printf.printf "  schedule      : %d cycles (deadline %d)\n" r.S.eval.Cost.makespan
+                r.S.deadline_cycles;
+              Printf.printf "  area          : %.1f\n" r.S.eval.Cost.area;
+              Printf.printf "  power         : %.3f\n" r.S.eval.Cost.power;
+              Printf.printf "  synthesis time: %.2f s (%d contexts, %d moves)\n" r.S.elapsed_s
+                r.S.contexts_tried r.S.stats.Hsyn_core.Pass.moves_committed;
+              if not r.S.completed then
+                Printf.printf "  sweep stopped : %s after %d/%d contexts (best so far shown)\n"
+                  (match r.S.coverage.S.stop_reason with Some s -> s | None -> "?")
+                  r.S.coverage.S.contexts_done r.S.coverage.S.contexts_planned;
+              if show_stats then begin
+                Printf.printf "\nevaluation engine (jobs %d, cache %d, staging %s):\n"
+                  policy.Engine.jobs policy.Engine.cache_capacity
+                  (if policy.Engine.staged then "on" else "off");
+                Format.printf "  total        %a@." Engine.pp_counters (Engine.global_counters ());
+                List.iter
+                  (fun (fam, c) -> Format.printf "  %-12s %a@." fam Engine.pp_counters c)
+                  (Engine.global_family_counters ())
+              end;
+              if show_rtl then Format.printf "@.%a@." Design.pp r.S.design;
+              let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
+              let sch = Sched.schedule r.S.ctx cs r.S.design in
+              if show_sched then Format.printf "@.%a@." Sched.pp_schedule (r.S.design, sch);
+              if show_fsm then Format.printf "@.%a@." Fsm.pp (Fsm.generate r.S.design sch);
+              if show_verilog then print_string (Hsyn_eval.Netlist.emit r.S.ctx r.S.design sch);
+              0))
 
 let bench_arg =
   Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Built-in benchmark to synthesize.")
@@ -145,6 +209,54 @@ let jobs_arg =
           "Evaluation worker domains (default: $(b,HSYN_JOBS) or 1). Results are identical for \
            every N.")
 
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget. Synthesis stops at the next move boundary after the deadline and \
+           reports the best feasible design found so far.")
+
+let max_contexts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-contexts" ] ~docv:"N"
+        ~doc:"Stop after N (V_dd, clock) contexts of the sweep.")
+
+let progress_flag =
+  Arg.(
+    value & flag
+    & info [ "progress" ] ~doc:"Print one progress line per synthesis milestone (to stderr).")
+
+let events_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-json" ] ~docv:"FILE"
+        ~doc:"Write the progress-event stream as NDJSON to $(docv) ($(b,-) for stdout).")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Snapshot the sweep to $(docv) after every finished (V_dd, clock) context.")
+
+let resume_flag =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the --checkpoint file if it exists (a missing file is a cold start, so \
+           this flag can be passed unconditionally).")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the result as one JSON object instead of the human summary.")
+
 let stats_flag =
   Arg.(
     value & flag
@@ -161,8 +273,9 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
-      $ mode_arg $ seed_arg $ jobs_arg $ stats_flag $ rtl_flag $ fsm_flag $ sched_flag
-      $ verilog_flag)
+      $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ progress_flag
+      $ events_json_arg $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag $ rtl_flag
+      $ fsm_flag $ sched_flag $ verilog_flag)
 
 (* ------------------------------------------------------------------ *)
 (* list / library / dump / dot *)

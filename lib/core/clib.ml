@@ -45,7 +45,7 @@ let reachable registry top =
   visit top;
   List.rev !order
 
-let synthesize_variant ctx registry clib ~rng ~trace_length ~effort behavior (variant : Dfg.t) =
+let synthesize_variant ?token ctx registry clib ~rng ~trace_length ~effort behavior (variant : Dfg.t) =
   let complexes = lookup clib in
   let initial = Initial.build ctx ~complexes registry variant in
   let relaxed = Sched.relaxed ~deadline:1_000_000 variant in
@@ -60,7 +60,7 @@ let synthesize_variant ctx registry clib ~rng ~trace_length ~effort behavior (va
     let sampling_ns = Float.of_int deadline *. ctx.Design.clk_ns in
     let cs = { relaxed with Sched.deadline } in
     let engine =
-      Engine.create ~policy:effort.engine ~ctx ~cs ~sampling_ns ~trace ~objective ()
+      Engine.create ~policy:effort.engine ?token ~ctx ~cs ~sampling_ns ~trace ~objective ()
     in
     let env =
       {
@@ -79,7 +79,7 @@ let synthesize_variant ctx registry clib ~rng ~trace_length ~effort behavior (va
         fresh_names = 0;
       }
     in
-    let d, _ = Pass.improve env ~max_moves:effort.max_moves ~max_passes:effort.max_passes initial in
+    let d, _ = Pass.improve ?token env ~max_moves:effort.max_moves ~max_passes:effort.max_passes initial in
     d
   in
   let fast = { Design.rm_name = variant.Dfg.name ^ "@f"; parts = [ (behavior, initial) ] } in
@@ -94,13 +94,13 @@ let synthesize_variant ctx registry clib ~rng ~trace_length ~effort behavior (va
   in
   [ fast; area_opt; power_opt ]
 
-let build ctx registry ~rng ~trace_length ~effort ~top =
+let build ?token ctx registry ~rng ~trace_length ~effort ~top =
   let clib : t = Hashtbl.create 16 in
   List.iter
     (fun behavior ->
       let modules =
         List.concat_map
-          (fun variant -> synthesize_variant ctx registry clib ~rng ~trace_length ~effort behavior variant)
+          (fun variant -> synthesize_variant ?token ctx registry clib ~rng ~trace_length ~effort behavior variant)
           (Registry.variants registry behavior)
       in
       Hashtbl.replace clib behavior modules)

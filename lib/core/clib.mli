@@ -27,6 +27,7 @@ type effort = {
 val default_effort : effort
 
 val build :
+  ?token:Budget.token ->
   Design.ctx ->
   Registry.t ->
   rng:Hsyn_util.Rng.t ->
@@ -36,7 +37,10 @@ val build :
   t
 (** Synthesize library modules for every behavior reachable from
     [top], deepest behaviors first (so shallower modules can
-    instantiate deeper ones). *)
+    instantiate deeper ones). With [token], construction polls the
+    budget for hard interruptions (deadline/cancel — never quotas) and
+    raises {!Budget.Interrupted}; the caller abandons the context it
+    was preparing. *)
 
 val lookup : t -> string -> Design.rtl_module list
 (** Modules implementing a behavior; [[]] when unknown. *)

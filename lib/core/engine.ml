@@ -84,6 +84,7 @@ type t = {
   trace : int array list;
   n_samples : int;
   obj : Cost.objective;
+  token : Budget.token option;
   cache : (int64, entry) Hashtbl.t;
   order : int64 Queue.t;  (* FIFO eviction order, one slot per fingerprint *)
   mutable totals : counters;
@@ -112,7 +113,7 @@ let bump t ?fam d =
       bump_family t.families f d;
       bump_family global_families f d
 
-let create ?(policy = default_policy) ~ctx ~cs ~sampling_ns ~trace ~objective () =
+let create ?(policy = default_policy) ?token ~ctx ~cs ~sampling_ns ~trace ~objective () =
   {
     policy = { policy with jobs = max 1 policy.jobs };
     ctx;
@@ -121,11 +122,31 @@ let create ?(policy = default_policy) ~ctx ~cs ~sampling_ns ~trace ~objective ()
     trace;
     n_samples = List.length trace;
     obj = objective;
+    token;
     cache = Hashtbl.create 256;
     order = Queue.create ();
     totals = zero;
     families = Hashtbl.create 8;
   }
+
+(* Cooperative interruption: hard budget events (deadline, cancel) cut
+   candidate batches short. Quotas are deliberately NOT polled here —
+   they are only consulted at move boundaries by [Pass], which keeps
+   quota-truncated runs deterministic. *)
+let check_token t = match t.token with Some tok -> Budget.check tok | None -> ()
+
+let cancel_poll t =
+  match t.token with
+  | None -> fun () -> false
+  | Some tok -> fun () -> Budget.interrupted tok <> None
+
+let raise_interrupted t =
+  match t.token with
+  | Some tok -> (
+      match Budget.interrupted tok with
+      | Some r -> raise (Budget.Interrupted r)
+      | None -> raise (Budget.Interrupted Budget.Cancelled))
+  | None -> raise (Budget.Interrupted Budget.Cancelled)
 
 let objective t = t.obj
 let counters t = t.totals
@@ -237,7 +258,9 @@ let better (v1, i1) (v2, i2) = v1 < v2 || (v1 = v2 && i1 < i2)
 
 let best_of t ?family ~limit seq =
   let t0 = Unix.gettimeofday () in
+  check_token t;
   let pool = Pool.shared t.policy.jobs in
+  let cancel = cancel_poll t in
   let fam x = Option.map (fun f -> f x) family in
   (* Generation happens here on the calling domain: pulling the lazy
      sequence may recurse into nested synthesis (move B), which must
@@ -285,10 +308,12 @@ let best_of t ?family ~limit seq =
       raw
   in
   let stage1_results =
-    Pool.map_array pool
-      (fun (_, _, design, _, hit) ->
-        match hit with None -> Some (stage1 t design) | Some _ -> None)
-      probed
+    try
+      Pool.map_array ~cancel pool
+        (fun (_, _, design, _, hit) ->
+          match hit with None -> Some (stage1 t design) | Some _ -> None)
+        probed
+    with Pool.Cancelled -> raise_interrupted t
   in
   let cands =
     Array.map2
@@ -365,6 +390,7 @@ let best_of t ?family ~limit seq =
       let rec waves = function
         | [] -> ()
         | pending ->
+            check_token t;
             let beats_best b =
               (not t.policy.staged)
               || match !best with None -> true | Some (_, bv, _) -> b <= bv
@@ -379,9 +405,11 @@ let best_of t ?family ~limit seq =
                 let wave = take_n wave_size (List.to_seq rest) in
                 let rest = List.filteri (fun i _ -> i >= List.length wave) rest in
                 let evals =
-                  Pool.map_array pool
-                    (fun (_, c) -> stage2 t c.c_entry.e_design c.c_entry.e_eval)
-                    (Array.of_list wave)
+                  try
+                    Pool.map_array ~cancel pool
+                      (fun (_, c) -> stage2 t c.c_entry.e_design c.c_entry.e_eval)
+                      (Array.of_list wave)
+                  with Pool.Cancelled -> raise_interrupted t
                 in
                 List.iteri
                   (fun i (_, c) ->

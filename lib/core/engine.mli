@@ -64,6 +64,7 @@ type t
 
 val create :
   ?policy:policy ->
+  ?token:Budget.token ->
   ctx:Design.ctx ->
   cs:Sched.constraints ->
   sampling_ns:float ->
@@ -74,7 +75,14 @@ val create :
 (** An engine is bound to one evaluation context — the technology
     context, constraints, sampling period, input trace and objective
     fixed for one improvement run. The cost cache is scoped to the
-    engine, so context changes can never alias. *)
+    engine, so context changes can never alias.
+
+    When a budget [token] is given, {!best_of} polls it for {e hard}
+    interruptions (deadline, cancellation) between evaluation waves
+    and inside worker tasks, raising {!Budget.Interrupted} — quotas
+    are never consulted here, so quota-limited runs stay
+    deterministic. An interrupted batch leaves no worker domain stuck
+    and no partial result visible. *)
 
 val objective : t -> Cost.objective
 

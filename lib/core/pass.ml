@@ -4,12 +4,13 @@ type stats = {
   passes : int;
   moves_committed : int;
   moves_tried : int;
+  interrupted : bool;
   log : string list;
   engine : Engine.counters;
   engine_families : (string * Engine.counters) list;
 }
 
-let improve (env : Moves.env) ~max_moves ~max_passes d0 =
+let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~max_passes d0 =
   let eng = env.Moves.engine in
   let before = Engine.counters eng in
   let fam_before = Engine.family_counters eng in
@@ -20,10 +21,23 @@ let improve (env : Moves.env) ~max_moves ~max_passes d0 =
         passes = 0;
         moves_committed = 0;
         moves_tried = 0;
+        interrupted = false;
         log = [];
         engine = Engine.zero;
         engine_families = [];
       }
+  in
+  (* Budget discipline: quotas are consulted only when [in_quota] (the
+     top-level improvement runs), and only at pass/move boundaries, so
+     a quota-truncated run commits exactly a prefix of the unbudgeted
+     run's work. Deadline and cancellation are polled everywhere. *)
+  let out_of_budget () =
+    match token with
+    | None -> None
+    | Some tok -> if in_quota then Budget.exhausted tok else Budget.interrupted tok
+  in
+  let interrupt () = stats := { !stats with interrupted = true } in
+  let note f = match token with Some tok when in_quota -> f tok | _ -> ()
   in
   let finish current =
     (* attribute to this run the engine work done since it started *)
@@ -36,78 +50,97 @@ let improve (env : Moves.env) ~max_moves ~max_passes d0 =
              | None -> (f, c))
       |> List.filter (fun (_, (c : Engine.counters)) -> c.Engine.generated > 0)
     in
-    ( current,
-      {
-        passes = !stats.passes;
-        moves_committed = !stats.moves_committed;
-        moves_tried = !stats.moves_tried;
-        log = !stats.log;
-        engine = delta;
-        engine_families = fam_delta;
-      } )
+    (current, { !stats with engine = delta; engine_families = fam_delta })
   in
   if value d0 = infinity then finish d0
   else begin
     let current = ref d0 in
     let continue_ = ref true in
     while !continue_ && !stats.passes < max_passes do
-      stats := { !stats with passes = !stats.passes + 1 };
-      let cur = ref !current in
-      let cur_val = ref (value !cur) in
-      (* tentative sequence: (cumulative gain, design, description) *)
-      let cum = ref 0. in
-      let best_prefix_gain = ref 0. in
-      let best_prefix = ref !current in
-      let best_prefix_log = ref [] in
-      let seq_log = ref [] in
-      let steps = ref 0 in
-      let stop = ref false in
-      while (not !stop) && !steps < max_moves do
-        incr steps;
-        let m1 = Moves.best_select_or_resynth env !cur_val !cur in
-        let m3 =
-          match Moves.best_merge env !cur_val !cur with
-          | Some m when m.Moves.gain >= 0. -> Some m
-          | weak -> (
-              (* sharing only hurts: consider splitting instead
-                 (statements 9–10) *)
-              match Moves.best_split env !cur_val !cur with
-              | Some s -> (
-                  match weak with
-                  | Some m when m.Moves.gain >= s.Moves.gain -> Some m
-                  | _ -> Some s)
-              | None -> weak)
-        in
-        let chosen =
-          match m1, m3 with
-          | None, None -> None
-          | Some m, None | None, Some m -> Some m
-          | Some a, Some b -> if a.Moves.gain >= b.Moves.gain then Some a else Some b
-        in
-        stats := { !stats with moves_tried = !stats.moves_tried + 1 };
-        match chosen with
-        | None -> stop := true
-        | Some m ->
-            cur := m.Moves.candidate;
-            cur_val := Cost.objective_value env.Moves.objective m.Moves.eval;
-            cum := !cum +. m.Moves.gain;
-            seq_log := Printf.sprintf "[%s] %s (gain %.3f)" (Moves.kind_name m.Moves.kind) m.Moves.description m.Moves.gain :: !seq_log;
-            if !cum > !best_prefix_gain then begin
-              best_prefix_gain := !cum;
-              best_prefix := !cur;
-              best_prefix_log := !seq_log
-            end
-      done;
-      if !best_prefix_gain > 1e-9 then begin
-        current := !best_prefix;
-        stats :=
-          {
-            !stats with
-            moves_committed = !stats.moves_committed + List.length !best_prefix_log;
-            log = !stats.log @ List.rev !best_prefix_log;
-          }
-      end
-      else continue_ := false
+      match out_of_budget () with
+      | Some _ ->
+          interrupt ();
+          continue_ := false
+      | None ->
+          stats := { !stats with passes = !stats.passes + 1 };
+          note Budget.note_pass;
+          let cur = ref !current in
+          let cur_val = ref (value !cur) in
+          (* tentative sequence: (cumulative gain, design, description) *)
+          let cum = ref 0. in
+          let best_prefix_gain = ref 0. in
+          let best_prefix = ref !current in
+          let best_prefix_log = ref [] in
+          let seq_log = ref [] in
+          let steps = ref 0 in
+          let stop = ref false in
+          while (not !stop) && !steps < max_moves do
+            incr steps;
+            match out_of_budget () with
+            | Some _ ->
+                interrupt ();
+                stop := true
+            | None -> (
+                note Budget.note_move;
+                (* a hard interruption mid-batch aborts the step; the
+                   best committed prefix so far is preserved *)
+                match
+                  let m1 = Moves.best_select_or_resynth env !cur_val !cur in
+                  let m3 =
+                    match Moves.best_merge env !cur_val !cur with
+                    | Some m when m.Moves.gain >= 0. -> Some m
+                    | weak -> (
+                        (* sharing only hurts: consider splitting instead
+                           (statements 9–10) *)
+                        match Moves.best_split env !cur_val !cur with
+                        | Some s -> (
+                            match weak with
+                            | Some m when m.Moves.gain >= s.Moves.gain -> Some m
+                            | _ -> Some s)
+                        | None -> weak)
+                  in
+                  match m1, m3 with
+                  | None, None -> None
+                  | Some m, None | None, Some m -> Some m
+                  | Some a, Some b -> if a.Moves.gain >= b.Moves.gain then Some a else Some b
+                with
+                | exception Budget.Interrupted _ ->
+                    interrupt ();
+                    stop := true
+                | chosen -> (
+                    stats := { !stats with moves_tried = !stats.moves_tried + 1 };
+                    match chosen with
+                    | None -> stop := true
+                    | Some m ->
+                        cur := m.Moves.candidate;
+                        cur_val := Cost.objective_value env.Moves.objective m.Moves.eval;
+                        cum := !cum +. m.Moves.gain;
+                        seq_log :=
+                          Printf.sprintf "[%s] %s (gain %.3f)" (Moves.kind_name m.Moves.kind)
+                            m.Moves.description m.Moves.gain
+                          :: !seq_log;
+                        if !cum > !best_prefix_gain then begin
+                          best_prefix_gain := !cum;
+                          best_prefix := !cur;
+                          best_prefix_log := !seq_log
+                        end))
+          done;
+          if !best_prefix_gain > 1e-9 then begin
+            current := !best_prefix;
+            stats :=
+              {
+                !stats with
+                moves_committed = !stats.moves_committed + List.length !best_prefix_log;
+                log = !stats.log @ List.rev !best_prefix_log;
+              }
+          end
+          else continue_ := false;
+          if !stats.interrupted then continue_ := false;
+          Option.iter
+            (fun f ->
+              f !stats.passes !stats.moves_committed
+                (Cost.objective_value env.Moves.objective (Engine.evaluate eng !current)))
+            on_pass
     done;
     finish !current
   end

@@ -6,7 +6,13 @@
     moves to worsen the design. At the end of the pass the prefix with
     the best cumulative gain is committed if it is positive; otherwise
     the pass (and the improvement loop) terminates. This is the
-    mechanism that lets the optimizer escape local minima. *)
+    mechanism that lets the optimizer escape local minima.
+
+    The loop is {e anytime}: with a {!Budget.token} it checks the
+    budget at every pass and move boundary and, when the budget fires
+    (or a hard interruption aborts a candidate batch mid-move), it
+    commits the best prefix found so far and returns — the result is
+    always at least as good as the input design. *)
 
 module Design = Hsyn_rtl.Design
 
@@ -14,6 +20,7 @@ type stats = {
   passes : int;
   moves_committed : int;
   moves_tried : int;
+  interrupted : bool;  (** the run was cut short by its budget *)
   log : string list;  (** committed move descriptions, oldest first *)
   engine : Engine.counters;
       (** engine work attributed to this improvement run (delta over
@@ -23,8 +30,24 @@ type stats = {
 }
 
 val improve :
-  Moves.env -> max_moves:int -> max_passes:int -> Design.t -> Design.t * stats
+  ?token:Budget.token ->
+  ?in_quota:bool ->
+  ?on_pass:(int -> int -> float -> unit) ->
+  Moves.env ->
+  max_moves:int ->
+  max_passes:int ->
+  Design.t ->
+  Design.t * stats
 (** Refine a design until no pass yields positive cumulative gain (or
     the pass budget runs out). The result is always feasible if the
     input is; if the input is infeasible the input is returned
-    unchanged. *)
+    unchanged.
+
+    [token]: poll this budget; [in_quota] (default false) additionally
+    charges this run's moves and passes against the token's quotas and
+    stops on quota exhaustion — enable it for top-level improvement
+    only, so nested resynthesis and library construction stay
+    responsive to deadline/cancel without perturbing the deterministic
+    quota accounting. [on_pass pass moves_committed value] fires after
+    each completed pass with the pass ordinal, the total moves
+    committed so far in this run, and the current objective value. *)

@@ -8,6 +8,7 @@ module Sched = Hsyn_sched.Sched
 module Flatten = Hsyn_dfg.Flatten
 module Trace = Hsyn_eval.Trace
 module Rng = Hsyn_util.Rng
+module Json = Hsyn_util.Json
 
 type config = {
   max_moves : int;
@@ -44,6 +45,141 @@ let default_config =
     engine = Engine.default_policy;
   }
 
+module Config = struct
+  type t = config
+
+  let default = default_config
+
+  let validate (c : t) =
+    let err fmt = Printf.ksprintf (fun m -> Error ("config: " ^ m)) fmt in
+    if c.max_moves <= 0 then err "max_moves must be positive (got %d)" c.max_moves
+    else if c.max_passes <= 0 then err "max_passes must be positive (got %d)" c.max_passes
+    else if c.max_candidates <= 0 then
+      err "max_candidates must be positive (got %d)" c.max_candidates
+    else if c.trace_length <= 0 then err "trace_length must be positive (got %d)" c.trace_length
+    else if c.max_clocks <= 0 then err "max_clocks must be positive (got %d)" c.max_clocks
+    else if c.vdd_candidates = [] then err "vdd_candidates must not be empty"
+    else if List.exists (fun v -> v <= 0.) c.vdd_candidates then
+      err "vdd_candidates must all be positive"
+    else if c.clk_candidates = Some [] then
+      err "clk_candidates, when given, must not be empty"
+    else if
+      match c.clk_candidates with
+      | Some l -> List.exists (fun v -> v <= 0.) l
+      | None -> false
+    then err "clk_candidates must all be positive"
+    else if c.clib_effort.Clib.max_moves <= 0 then err "clib_effort.max_moves must be positive"
+    else if c.clib_effort.Clib.max_passes <= 0 then err "clib_effort.max_passes must be positive"
+    else if c.clib_effort.Clib.max_candidates <= 0 then
+      err "clib_effort.max_candidates must be positive"
+    else if c.engine.Engine.jobs < 1 then err "engine.jobs must be at least 1"
+    else if c.engine.Engine.cache_capacity < 0 then err "engine.cache_capacity must be >= 0"
+    else Ok c
+
+  let make ?(max_moves = default.max_moves) ?(max_passes = default.max_passes)
+      ?(max_candidates = default.max_candidates) ?(trace_length = default.trace_length)
+      ?(trace_kind = default.trace_kind) ?(seed = default.seed)
+      ?(vdd_candidates = default.vdd_candidates) ?(clk_candidates = default.clk_candidates)
+      ?(max_clocks = default.max_clocks) ?(enable_resynth = default.enable_resynth)
+      ?(enable_embed = default.enable_embed) ?(enable_split = default.enable_split)
+      ?(clib_effort = default.clib_effort) ?(engine = default.engine) () =
+    validate
+      {
+        max_moves;
+        max_passes;
+        max_candidates;
+        trace_length;
+        trace_kind;
+        seed;
+        vdd_candidates;
+        clk_candidates;
+        max_clocks;
+        enable_resynth;
+        enable_embed;
+        enable_split;
+        clib_effort;
+        engine;
+      }
+
+  let with_max_moves v t = { t with max_moves = v }
+  let with_max_passes v t = { t with max_passes = v }
+  let with_max_candidates v t = { t with max_candidates = v }
+  let with_trace_length v t = { t with trace_length = v }
+  let with_trace_kind v t = { t with trace_kind = v }
+  let with_seed v t = { t with seed = v }
+  let with_vdd_candidates v t = { t with vdd_candidates = v }
+  let with_clk_candidates v t = { t with clk_candidates = v }
+  let with_max_clocks v t = { t with max_clocks = v }
+  let with_resynth v t = { t with enable_resynth = v }
+  let with_embed v t = { t with enable_embed = v }
+  let with_split v t = { t with enable_split = v }
+  let with_clib_effort v t = { t with clib_effort = v }
+  let with_engine v t = { t with engine = v }
+end
+
+let min_sampling_ns lib registry dfg =
+  let flat = if Dfg.n_calls dfg = 0 then dfg else Flatten.flatten registry dfg in
+  Sched.critical_path_ns lib flat
+
+module Request = struct
+  type t = {
+    lib : Library.t;
+    registry : Registry.t;
+    dfg : Dfg.t;
+    objective : Cost.objective;
+    sampling_ns : float;
+    config : Config.t;
+    budget : Budget.t;
+    flatten : bool;
+  }
+
+  let make ?(config = default_config) ?(budget = Budget.unlimited) ?(flatten = false) ~lib
+      ~registry ~dfg ~objective ~sampling_ns () =
+    match Config.validate config with
+    | Error msg -> Error msg
+    | Ok config ->
+        if sampling_ns <= 0. then Error "request: sampling_ns must be positive"
+        else Ok { lib; registry; dfg; objective; sampling_ns; config; budget; flatten }
+
+  let effective_dfg t =
+    if t.flatten && Dfg.n_calls t.dfg > 0 then Flatten.flatten t.registry t.dfg else t.dfg
+
+  (* The deterministic (V_dd, clock period, deadline) walk order of the
+     sweep: the checkpoint cursor indexes into exactly this list. *)
+  let plan t =
+    let config = t.config in
+    let dfg = effective_dfg t in
+    let min_ns = min_sampling_ns t.lib t.registry dfg in
+    let vdds =
+      match t.objective with Cost.Area -> [ Voltage.nominal ] | Cost.Power -> config.vdd_candidates
+    in
+    List.concat_map
+      (fun vdd ->
+        (* prune: even the fastest design misses the sampling period *)
+        if min_ns *. Voltage.delay_factor vdd <= t.sampling_ns then
+          let clks =
+            match config.clk_candidates with
+            | Some l -> l
+            | None -> Clock.candidates t.lib vdd
+          in
+          List.filter_map
+            (fun clk_ns ->
+              let deadline = int_of_float (Float.floor (t.sampling_ns /. clk_ns +. 1e-9)) in
+              if deadline >= 1 then Some (vdd, clk_ns, deadline) else None)
+            (Clock.spread config.max_clocks clks)
+        else [])
+      vdds
+end
+
+type coverage = {
+  contexts_planned : int;
+  contexts_started : int;
+  contexts_done : int;
+  passes_run : int;
+  moves_tried : int;
+  stop_reason : string option;
+}
+
 type result = {
   design : Design.t;
   ctx : Design.ctx;
@@ -55,16 +191,91 @@ type result = {
   contexts_tried : int;
   stats : Pass.stats;
   clib : Clib.t;
+  completed : bool;
+  coverage : coverage;
 }
 
-let min_sampling_ns lib registry dfg =
-  let flat = if Dfg.n_calls dfg = 0 then dfg else Flatten.flatten registry dfg in
-  Sched.critical_path_ns lib flat
+module Result = struct
+  type t = result
+
+  let schema_version = 1
+
+  let counters_json (c : Engine.counters) =
+    Json.Obj
+      [
+        ("generated", Json.Int c.Engine.generated);
+        ("evaluated", Json.Int c.Engine.evaluated);
+        ("cache_hits", Json.Int c.Engine.cache_hits);
+        ("cache_misses", Json.Int c.Engine.cache_misses);
+        ("evictions", Json.Int c.Engine.evictions);
+        ("power_sims", Json.Int c.Engine.power_sims);
+        ("power_skipped", Json.Int c.Engine.power_skipped);
+        ("batches", Json.Int c.Engine.batches);
+        ("wall_s", Json.Float c.Engine.wall_s);
+      ]
+
+  let to_json_value (r : t) =
+    Json.Obj
+      [
+        ("schema_version", Json.Int schema_version);
+        ("kind", Json.String "hsyn.result");
+        ("objective", Json.String (Cost.objective_name r.objective));
+        ("sampling_ns", Json.Float r.sampling_ns);
+        ("completed", Json.Bool r.completed);
+        ( "context",
+          Json.Obj
+            [
+              ("vdd", Json.Float r.ctx.Design.vdd);
+              ("clk_ns", Json.Float r.ctx.Design.clk_ns);
+              ("deadline_cycles", Json.Int r.deadline_cycles);
+            ] );
+        ( "design",
+          Json.Obj
+            [
+              ("dfg", Json.String r.design.Design.dfg.Dfg.name);
+              ("instances", Json.Int (Array.length r.design.Design.insts));
+              ("registers", Json.Int r.design.Design.n_regs);
+              ("fingerprint", Json.String (Printf.sprintf "%016Lx" (Design.fingerprint r.design)));
+            ] );
+        ( "eval",
+          Json.Obj
+            [
+              ("area", Json.Float r.eval.Cost.area);
+              ("power", Json.Float r.eval.Cost.power);
+              ("energy_sample", Json.Float r.eval.Cost.energy_sample);
+              ("makespan", Json.Int r.eval.Cost.makespan);
+              ("feasible", Json.Bool r.eval.Cost.feasible);
+            ] );
+        ( "coverage",
+          Json.Obj
+            [
+              ("contexts_planned", Json.Int r.coverage.contexts_planned);
+              ("contexts_started", Json.Int r.coverage.contexts_started);
+              ("contexts_done", Json.Int r.coverage.contexts_done);
+              ("passes_run", Json.Int r.coverage.passes_run);
+              ("moves_tried", Json.Int r.coverage.moves_tried);
+              ( "stop_reason",
+                match r.coverage.stop_reason with None -> Json.Null | Some s -> Json.String s );
+            ] );
+        ( "stats",
+          Json.Obj
+            [
+              ("passes", Json.Int r.stats.Pass.passes);
+              ("moves_committed", Json.Int r.stats.Pass.moves_committed);
+              ("moves_tried", Json.Int r.stats.Pass.moves_tried);
+              ("interrupted", Json.Bool r.stats.Pass.interrupted);
+              ("engine", counters_json r.stats.Pass.engine);
+            ] );
+        ("elapsed_s", Json.Float r.elapsed_s);
+      ]
+
+  let to_json r = Json.to_string (to_json_value r)
+end
 
 (* A bounded re-synthesis closure for move B: improve the module part
    under the derived environment constraints, without nesting another
    level of B moves. *)
-let make_resynth config registry complexes seed =
+let make_resynth ?token config registry complexes seed =
   let counter = ref 0 in
   fun ctx cs objective (part : Design.t) ->
     incr counter;
@@ -76,7 +287,7 @@ let make_resynth config registry complexes seed =
     in
     let sampling_ns = Float.of_int cs.Sched.deadline *. ctx.Design.clk_ns in
     let engine =
-      Engine.create ~policy:config.engine ~ctx ~cs ~sampling_ns ~trace ~objective ()
+      Engine.create ~policy:config.engine ?token ~ctx ~cs ~sampling_ns ~trace ~objective ()
     in
     let env =
       {
@@ -96,113 +307,317 @@ let make_resynth config registry complexes seed =
       }
     in
     let improved, _ =
-      Pass.improve env ~max_moves:config.clib_effort.Clib.max_moves
+      Pass.improve ?token env ~max_moves:config.clib_effort.Clib.max_moves
         ~max_passes:config.clib_effort.Clib.max_passes part
     in
     improved
 
-let run ?(config = default_config) ~lib registry (dfg : Dfg.t) objective ~sampling_ns =
-  let start_time = Unix.gettimeofday () in
-  let min_ns = min_sampling_ns lib registry dfg in
-  let vdds = match objective with Cost.Area -> [ Voltage.nominal ] | Cost.Power -> config.vdd_candidates in
-  let best = ref None in
-  let contexts = ref 0 in
-  List.iter
-    (fun vdd ->
-      (* prune: even the fastest design misses the sampling period *)
-      if min_ns *. Voltage.delay_factor vdd <= sampling_ns then begin
-        let clks =
-          match config.clk_candidates with
-          | Some l -> l
-          | None -> Clock.candidates lib vdd
-        in
-        List.iter
-          (fun clk_ns ->
-            let deadline = int_of_float (Float.floor (sampling_ns /. clk_ns +. 1e-9)) in
-            if deadline >= 1 then begin
-              incr contexts;
-              let ctx = { Design.lib; vdd; clk_ns } in
-              let rng = Rng.create config.seed in
-              let trace =
-                Trace.generate rng config.trace_kind
-                  ~n_inputs:(Array.length dfg.Dfg.inputs)
-                  ~length:config.trace_length
-              in
-              let clib =
-                Clib.build ctx registry ~rng:(Rng.split rng) ~trace_length:config.trace_length
-                  ~effort:config.clib_effort ~top:dfg
-              in
-              let complexes = Clib.lookup clib in
-              let cs = Sched.relaxed ~deadline dfg in
-              let resynth =
-                if config.enable_resynth then Some (make_resynth config registry complexes config.seed)
-                else None
-              in
-              let engine =
-                Engine.create ~policy:config.engine ~ctx ~cs ~sampling_ns ~trace ~objective ()
-              in
-              let env =
+(* One (V_dd, clock) context of the sweep: build the complex library,
+   the initial solution, and run budgeted variable-depth improvement.
+   Raises [Budget.Interrupted] only from the preparatory phases (clib
+   construction, candidate batches before the first move commits);
+   once improvement is underway an interruption surfaces as
+   [stats.interrupted] with the best committed prefix. *)
+let run_context ?token ~events ~index (req : Request.t) config dfg (vdd, clk_ns, deadline) =
+  let ctx = { Design.lib = req.Request.lib; vdd; clk_ns } in
+  let rng = Rng.create config.seed in
+  let trace =
+    Trace.generate rng config.trace_kind
+      ~n_inputs:(Array.length dfg.Dfg.inputs)
+      ~length:config.trace_length
+  in
+  let clib =
+    Clib.build ?token ctx req.Request.registry ~rng:(Rng.split rng)
+      ~trace_length:config.trace_length ~effort:config.clib_effort ~top:dfg
+  in
+  let complexes = Clib.lookup clib in
+  let cs = Sched.relaxed ~deadline dfg in
+  let resynth =
+    if config.enable_resynth then
+      Some (make_resynth ?token config req.Request.registry complexes config.seed)
+    else None
+  in
+  let engine =
+    Engine.create ~policy:config.engine ?token ~ctx ~cs ~sampling_ns:req.Request.sampling_ns
+      ~trace ~objective:req.Request.objective ()
+  in
+  let env =
+    {
+      Moves.ctx;
+      cs;
+      sampling_ns = req.Request.sampling_ns;
+      trace;
+      objective = req.Request.objective;
+      engine;
+      registry = req.Request.registry;
+      complexes;
+      resynth;
+      max_candidates = config.max_candidates;
+      allow_embed = config.enable_embed;
+      allow_split = config.enable_split;
+      fresh_names = 0;
+    }
+  in
+  let initial = Initial.build ctx ~complexes req.Request.registry dfg in
+  (* larger designs need longer move sequences per pass *)
+  let max_moves = max config.max_moves (min 40 (Array.length initial.Design.insts)) in
+  let on_pass pass moves value =
+    events (Events.Pass_done { context = index; pass; moves_committed = moves; value })
+  in
+  let improved, stats =
+    Pass.improve ?token ~in_quota:true ~on_pass env ~max_moves ~max_passes:config.max_passes
+      initial
+  in
+  let eval = Engine.evaluate_with_power engine improved in
+  (improved, ctx, eval, stats, clib)
+
+exception Stop of Budget.reason
+
+let synthesize ?(events = Events.null) ?token ?checkpoint ?(resume = false) (req : Request.t) =
+  match Config.validate req.Request.config with
+  | Error msg -> Error msg
+  | Ok config -> (
+      let start_time = Unix.gettimeofday () in
+      let token = match token with Some t -> t | None -> Budget.start req.Request.budget in
+      let emit payload =
+        events { Events.at_s = Unix.gettimeofday () -. start_time; payload }
+      in
+      let dfg = Request.effective_dfg req in
+      let plan = Request.plan req in
+      let total = List.length plan in
+      let fresh_snapshot =
+        {
+          Checkpoint.dfg_name = req.Request.dfg.Dfg.name;
+          objective = req.Request.objective;
+          sampling_ns = req.Request.sampling_ns;
+          flattened = req.Request.flatten;
+          contexts_planned = total;
+          cursor = 0;
+          passes_run = 0;
+          moves_tried = 0;
+          incumbent = None;
+        }
+      in
+      let snapshot0 =
+        if not resume then Ok fresh_snapshot
+        else
+          match checkpoint with
+          | None -> Error "resume requested but no checkpoint path given"
+          | Some path when not (Sys.file_exists path) ->
+              (* a missing checkpoint is a cold start, not an error —
+                 this is what lets [--resume] be passed unconditionally *)
+              Ok fresh_snapshot
+          | Some path -> (
+              match Checkpoint.load path with
+              | Error msg -> Error msg
+              | Ok ck -> (
+                  match
+                    Checkpoint.compatible ck ~dfg_name:req.Request.dfg.Dfg.name
+                      ~objective:req.Request.objective ~sampling_ns:req.Request.sampling_ns
+                      ~flattened:req.Request.flatten
+                  with
+                  | Error msg -> Error msg
+                  | Ok () ->
+                      if ck.Checkpoint.contexts_planned <> total then
+                        Error
+                          (Printf.sprintf
+                             "checkpoint plans %d contexts but this request plans %d (different \
+                              config?)"
+                             ck.Checkpoint.contexts_planned total)
+                      else Ok ck))
+      in
+      match snapshot0 with
+      | Error msg -> Error msg
+      | Ok snap0 ->
+          emit
+            (Events.Run_started
+               {
+                 dfg = dfg.Dfg.name;
+                 objective = Cost.objective_name req.Request.objective;
+                 sampling_ns = req.Request.sampling_ns;
+                 contexts_planned = total;
+                 budget = req.Request.budget;
+               });
+          (* [committed] is the resumable state: incumbent over fully
+             finished contexts only — exactly what checkpoints store.
+             [final] may additionally absorb a partial last context; it
+             is what the caller gets back but never what resume seeds
+             from, keeping resumed runs bit-identical to uninterrupted
+             ones. *)
+          let committed = ref snap0.Checkpoint.incumbent in
+          let final = ref snap0.Checkpoint.incumbent in
+          let cursor = ref snap0.Checkpoint.cursor in
+          let started = ref 0 in
+          let stop_reason = ref None in
+          let save_checkpoint () =
+            match checkpoint with
+            | None -> ()
+            | Some path ->
+                Checkpoint.save path
+                  {
+                    snap0 with
+                    Checkpoint.cursor = !cursor;
+                    passes_run = snap0.Checkpoint.passes_run + Budget.passes_used token;
+                    moves_tried = snap0.Checkpoint.moves_tried + Budget.moves_used token;
+                    incumbent = !committed;
+                  };
+                emit (Events.Checkpoint_saved { path; contexts_done = !cursor })
+          in
+          let better value inc =
+            match inc with Some (i : Checkpoint.incumbent) -> value < i.Checkpoint.value | None -> true
+          in
+          (try
+             List.iteri
+               (fun index (vdd, clk_ns, deadline) ->
+                 if index >= snap0.Checkpoint.cursor then begin
+                   (match Budget.exhausted token with Some r -> raise (Stop r) | None -> ());
+                   incr started;
+                   emit
+                     (Events.Context_started
+                        { index; total; vdd; clk_ns; deadline_cycles = deadline });
+                   match
+                     run_context ~token ~events:emit ~index req config dfg
+                       (vdd, clk_ns, deadline)
+                   with
+                   | exception Budget.Interrupted r ->
+                       emit (Events.Context_finished { index; feasible = false });
+                       raise (Stop r)
+                   | improved, ctx, eval, stats, clib ->
+                       let feasible = eval.Cost.feasible in
+                       let value = Cost.objective_value req.Request.objective eval in
+                       let inc =
+                         if feasible then
+                           Some
+                             {
+                               Checkpoint.design = improved;
+                               ctx;
+                               eval;
+                               deadline_cycles = deadline;
+                               value;
+                               stats;
+                               clib;
+                             }
+                         else None
+                       in
+                       if stats.Pass.interrupted then begin
+                         (* partial context: usable as a final answer,
+                            not as resumable state *)
+                         emit (Events.Context_finished { index; feasible });
+                         (match inc with
+                         | Some i when better value !final -> final := Some i
+                         | _ -> ());
+                         let r =
+                           match Budget.exhausted token with
+                           | Some r -> r
+                           | None -> Budget.Cancelled
+                         in
+                         raise (Stop r)
+                       end;
+                       emit (Events.Context_finished { index; feasible });
+                       (match inc with
+                       | Some i when better value !committed ->
+                           committed := Some i;
+                           emit
+                             (Events.New_incumbent
+                                {
+                                  context = index;
+                                  vdd;
+                                  clk_ns;
+                                  value;
+                                  area = eval.Cost.area;
+                                  power = eval.Cost.power;
+                                })
+                       | _ -> ());
+                       (* keep [final] in sync with the committed state *)
+                       (match (!committed, !final) with
+                       | Some c, Some f when c.Checkpoint.value < f.Checkpoint.value -> final := Some c
+                       | Some _, None -> final := !committed
+                       | _ -> ());
+                       (* charged on completion, so the quota means
+                          "finish at most N contexts" and never
+                          interrupts the context it admitted *)
+                       Budget.note_context token;
+                       cursor := index + 1;
+                       save_checkpoint ()
+                 end)
+               plan
+           with Stop r ->
+             stop_reason := Some r;
+             emit (Events.Budget_exhausted { reason = Budget.reason_name r });
+             save_checkpoint ());
+          let elapsed_s = Unix.gettimeofday () -. start_time in
+          let completed = !stop_reason = None in
+          let coverage =
+            {
+              contexts_planned = total;
+              contexts_started = snap0.Checkpoint.cursor + !started;
+              contexts_done = !cursor;
+              passes_run = snap0.Checkpoint.passes_run + Budget.passes_used token;
+              moves_tried = snap0.Checkpoint.moves_tried + Budget.moves_used token;
+              stop_reason = Option.map Budget.reason_name !stop_reason;
+            }
+          in
+          let finish_events result_json =
+            emit
+              (Events.Run_finished
+                 {
+                   completed;
+                   contexts_done = !cursor;
+                   contexts_planned = total;
+                   elapsed_s;
+                   result = result_json;
+                 })
+          in
+          (match !final with
+          | None ->
+              finish_events None;
+              if completed then
+                Error
+                  (Printf.sprintf "no feasible design for %s at sampling %.1f ns" dfg.Dfg.name
+                     req.Request.sampling_ns)
+              else
+                Error
+                  (Printf.sprintf "budget exhausted (%s) before any feasible design was found"
+                     (Option.fold ~none:"?" ~some:Budget.reason_name !stop_reason))
+          | Some (i : Checkpoint.incumbent) ->
+              let r =
                 {
-                  Moves.ctx;
-                  cs;
-                  sampling_ns;
-                  trace;
-                  objective;
-                  engine;
-                  registry;
-                  complexes;
-                  resynth;
-                  max_candidates = config.max_candidates;
-                  allow_embed = config.enable_embed;
-                  allow_split = config.enable_split;
-                  fresh_names = 0;
+                  design = i.Checkpoint.design;
+                  ctx = i.Checkpoint.ctx;
+                  eval = i.Checkpoint.eval;
+                  objective = req.Request.objective;
+                  sampling_ns = req.Request.sampling_ns;
+                  deadline_cycles = i.Checkpoint.deadline_cycles;
+                  elapsed_s;
+                  contexts_tried = coverage.contexts_started;
+                  stats = i.Checkpoint.stats;
+                  clib = i.Checkpoint.clib;
+                  completed;
+                  coverage;
                 }
               in
-              let initial = Initial.build ctx ~complexes registry dfg in
-              (* larger designs need longer move sequences per pass *)
-              let max_moves =
-                max config.max_moves (min 40 (Array.length initial.Design.insts))
-              in
-              let improved, stats =
-                Pass.improve env ~max_moves ~max_passes:config.max_passes initial
-              in
-              let eval = Engine.evaluate_with_power engine improved in
-              if eval.Cost.feasible then begin
-                let value = Cost.objective_value objective eval in
-                match !best with
-                | Some (v, _) when v <= value -> ()
-                | _ ->
-                    best :=
-                      Some
-                        ( value,
-                          {
-                            design = improved;
-                            ctx;
-                            eval;
-                            objective;
-                            sampling_ns;
-                            deadline_cycles = deadline;
-                            elapsed_s = 0.;
-                            contexts_tried = 0;
-                            stats;
-                            clib;
-                          } )
-              end
-            end)
-          (Clock.spread config.max_clocks clks)
-      end)
-    vdds;
-  match !best with
-  | None ->
-      failwith
-        (Printf.sprintf "Synthesize.run: no feasible design for %s at sampling %.1f ns" dfg.Dfg.name
-           sampling_ns)
-  | Some (_, r) ->
-      { r with elapsed_s = Unix.gettimeofday () -. start_time; contexts_tried = !contexts }
+              finish_events (Some (Result.to_json_value r));
+              Ok r))
+
+(* ------------------------------------------------------------------ *)
+(* Legacy entry points: thin shims over [Request.make] + [synthesize],
+   kept so existing callers and the examples compile unchanged. *)
+
+let run ?(config = default_config) ~lib registry (dfg : Dfg.t) objective ~sampling_ns =
+  match Request.make ~config ~lib ~registry ~dfg ~objective ~sampling_ns () with
+  | Error msg -> failwith ("Synthesize.run: " ^ msg)
+  | Ok req -> (
+      match synthesize req with
+      | Ok r -> r
+      | Error msg -> failwith ("Synthesize.run: " ^ msg))
 
 let run_flat ?(config = default_config) ~lib registry dfg objective ~sampling_ns =
-  let flat = if Dfg.n_calls dfg = 0 then dfg else Flatten.flatten registry dfg in
-  run ~config ~lib registry flat objective ~sampling_ns
+  match Request.make ~config ~flatten:true ~lib ~registry ~dfg ~objective ~sampling_ns () with
+  | Error msg -> failwith ("Synthesize.run_flat: " ^ msg)
+  | Ok req -> (
+      match synthesize req with
+      | Ok r -> r
+      | Error msg -> failwith ("Synthesize.run_flat: " ^ msg))
 
 let rescale_vdd ?(config = default_config) (r : result) vdds =
   let rng = Rng.create config.seed in

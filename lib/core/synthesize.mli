@@ -1,4 +1,4 @@
-(** SYNTHESIZE — the top level of H-SYN (Figure 4).
+(** SYNTHESIZE — the top level of H-SYN (Figure 4), as an anytime run.
 
     Iterates over the pruned supply-voltage and clock-period sets; for
     each context it builds the complex-module library, constructs the
@@ -6,7 +6,19 @@
     keeps the best feasible design under the requested objective.
     Area optimization runs at 5 V (the paper's area-optimized circuits
     are synthesized at 5 V and voltage-scaled afterwards); power
-    optimization explores the full V{_dd} set. *)
+    optimization explores the full V{_dd} set.
+
+    The modern entry point is {!synthesize}, driven by a validated
+    {!Request.t}. It is {e anytime}: give it a {!Budget.t} (or cancel
+    its token) and it stops at the next move boundary, returning the
+    best feasible design found so far, with {!result.completed} and
+    {!result.coverage} saying how much of the sweep ran. Progress is
+    observable through {!Events} and interrupted sweeps are resumable
+    through {!Checkpoint}.
+
+    {!run} and {!run_flat} remain as thin shims over the request API
+    for existing callers; new code should prefer
+    {!Request.make} + {!synthesize}. *)
 
 module Design = Hsyn_rtl.Design
 module Dfg = Hsyn_dfg.Dfg
@@ -34,6 +46,113 @@ type config = {
 
 val default_config : config
 
+(** Validated view of {!config}. [Config.t] {e is} [config] — existing
+    [{ default_config with … }] record updates keep working — but
+    {!Config.make} and {!Config.validate} reject nonsense (non-positive
+    quotas, an empty voltage set, …) before a run starts instead of
+    failing somewhere inside the sweep. *)
+module Config : sig
+  type t = config
+
+  val default : t
+
+  val make :
+    ?max_moves:int ->
+    ?max_passes:int ->
+    ?max_candidates:int ->
+    ?trace_length:int ->
+    ?trace_kind:Hsyn_eval.Trace.kind ->
+    ?seed:int ->
+    ?vdd_candidates:float list ->
+    ?clk_candidates:float list option ->
+    ?max_clocks:int ->
+    ?enable_resynth:bool ->
+    ?enable_embed:bool ->
+    ?enable_split:bool ->
+    ?clib_effort:Clib.effort ->
+    ?engine:Engine.policy ->
+    unit ->
+    (t, string) result
+  (** Build and {!validate} in one step; unspecified fields come from
+      {!default}. *)
+
+  val validate : t -> (t, string) result
+
+  (** Functional setters, for pipeline-style construction:
+      [Config.(default |> with_max_passes 2 |> with_seed 7)]. Setters
+      do not validate — run {!validate} (or go through {!make} /
+      {!Request.make}) once the chain is complete. *)
+
+  val with_max_moves : int -> t -> t
+  val with_max_passes : int -> t -> t
+  val with_max_candidates : int -> t -> t
+  val with_trace_length : int -> t -> t
+  val with_trace_kind : Hsyn_eval.Trace.kind -> t -> t
+  val with_seed : int -> t -> t
+  val with_vdd_candidates : float list -> t -> t
+  val with_clk_candidates : float list option -> t -> t
+  val with_max_clocks : int -> t -> t
+  val with_resynth : bool -> t -> t
+  val with_embed : bool -> t -> t
+  val with_split : bool -> t -> t
+  val with_clib_effort : Clib.effort -> t -> t
+  val with_engine : Engine.policy -> t -> t
+end
+
+val min_sampling_ns : Library.t -> Registry.t -> Dfg.t -> float
+(** Minimum sampling period of the behavior with this library (the
+    laxity-factor denominator): dependence-bound critical path of the
+    flattened DFG at 5 V with the fastest units. *)
+
+(** A complete, validated synthesis request: the problem (library,
+    behavior registry, top DFG, objective, sampling period) bundled
+    with its {!Config.t} and {!Budget.t}. *)
+module Request : sig
+  type t = private {
+    lib : Library.t;
+    registry : Registry.t;
+    dfg : Dfg.t;
+    objective : Cost.objective;
+    sampling_ns : float;
+    config : Config.t;
+    budget : Budget.t;
+    flatten : bool;  (** flatten the hierarchy first (baseline mode) *)
+  }
+
+  val make :
+    ?config:Config.t ->
+    ?budget:Budget.t ->
+    ?flatten:bool ->
+    lib:Library.t ->
+    registry:Registry.t ->
+    dfg:Dfg.t ->
+    objective:Cost.objective ->
+    sampling_ns:float ->
+    unit ->
+    (t, string) result
+  (** Validates the config and [sampling_ns > 0]. *)
+
+  val effective_dfg : t -> Dfg.t
+  (** The DFG the sweep actually runs on ([dfg], flattened when
+      [flatten] is set). *)
+
+  val plan : t -> (float * float * int) list
+  (** The deterministic [(vdd, clk_ns, deadline_cycles)] walk order of
+      the sweep, after voltage pruning and clock spreading. Checkpoint
+      cursors index into exactly this list. *)
+end
+
+type coverage = {
+  contexts_planned : int;
+  contexts_started : int;  (** includes a final partially-run context *)
+  contexts_done : int;  (** fully finished (the resumable prefix) *)
+  passes_run : int;  (** top-level improvement passes, all contexts *)
+  moves_tried : int;  (** top-level tentative moves, all contexts *)
+  stop_reason : string option;
+      (** {!Budget.reason_name} of what stopped the sweep; [None] when
+          it ran to completion *)
+}
+
 type result = {
   design : Design.t;
   ctx : Design.ctx;
@@ -45,12 +164,46 @@ type result = {
   contexts_tried : int;  (** (V_dd, clock) points actually explored *)
   stats : Pass.stats;  (** improvement statistics of the winning context *)
   clib : Clib.t;  (** complex library of the winning context *)
+  completed : bool;  (** the full sweep ran (no budget interruption) *)
+  coverage : coverage;
 }
 
-val min_sampling_ns : Library.t -> Registry.t -> Dfg.t -> float
-(** Minimum sampling period of the behavior with this library (the
-    laxity-factor denominator): dependence-bound critical path of the
-    flattened DFG at 5 V with the fastest units. *)
+(** Stable JSON rendering of a {!result}, shared by [hsyn synth
+    --json], the benchmark reports, and the {!Events.Run_finished}
+    payload. The schema is versioned: field additions bump nothing,
+    renames/removals bump {!Result.schema_version}. *)
+module Result : sig
+  type t = result
+
+  val schema_version : int
+
+  val to_json_value : t -> Hsyn_util.Json.t
+  val to_json : t -> string
+end
+
+val synthesize :
+  ?events:Events.sink ->
+  ?token:Budget.token ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  Request.t ->
+  (result, string) Stdlib.result
+(** Run the sweep described by the request.
+
+    [events] observes progress (default {!Events.null}). [token]
+    supplies an externally created budget token — e.g. one shared with
+    a signal handler for Ctrl-C cancellation; by default a fresh token
+    is started from the request's budget. [checkpoint] names a file to
+    snapshot after every finished context; with [resume] set, a
+    compatible snapshot at that path seeds the sweep (a missing file is
+    a cold start, so [--resume] can be passed unconditionally).
+
+    Returns [Error _] for an invalid request, an incompatible
+    checkpoint, or when no feasible design was found before the sweep
+    ended. An interrupted run with at least one feasible design still
+    returns [Ok] — check {!result.completed}. Resumed runs converge to
+    bit-identical results with uninterrupted ones because checkpoints
+    only store fully-finished contexts. *)
 
 val run :
   ?config:config ->
@@ -60,9 +213,11 @@ val run :
   Cost.objective ->
   sampling_ns:float ->
   result
-(** Hierarchical synthesis of the behavior under a sampling-period
-    constraint.
-    @raise Failure if no context yields a feasible design. *)
+(** Legacy shim: hierarchical synthesis of the behavior under a
+    sampling-period constraint, unbudgeted. Prefer {!Request.make} +
+    {!synthesize} in new code.
+    @raise Failure if the config is invalid or no context yields a
+    feasible design. *)
 
 val run_flat :
   ?config:config ->
@@ -74,7 +229,7 @@ val run_flat :
   result
 (** The flattened baseline ([10]): flatten the hierarchy, then run the
     same engine (moves B and the complex-module machinery never
-    trigger on a flat graph). *)
+    trigger on a flat graph). Legacy shim like {!run}. *)
 
 val rescale_vdd :
   ?config:config -> result -> Hsyn_modlib.Voltage.t list -> result

@@ -135,6 +135,26 @@ let parse_file path =
   close_in ic;
   parse_string text
 
+let select_graph ?name { graphs; _ } =
+  let available () =
+    graphs |> List.map (fun (g : Dfg.t) -> g.Dfg.name) |> String.concat ", "
+  in
+  match name with
+  | Some n -> (
+      match List.find_opt (fun (g : Dfg.t) -> g.Dfg.name = n) graphs with
+      | Some g -> Ok g
+      | None ->
+          if graphs = [] then Error (Printf.sprintf "no dfg block named %S (file has none)" n)
+          else Error (Printf.sprintf "no dfg block named %S (available: %s)" n (available ())))
+  | None -> (
+      match graphs with
+      | [ g ] -> Ok g
+      | [] -> Error "no dfg block in file"
+      | _ ->
+          Error
+            (Printf.sprintf "file has several dfg blocks, pick one by name (available: %s)"
+               (available ())))
+
 (* ------------------------------------------------------------------ *)
 (* Printing *)
 

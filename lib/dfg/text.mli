@@ -46,6 +46,13 @@ val parse_file : string -> program
 (** {!parse_string} on a file's contents.
     @raise Sys_error if the file cannot be read. *)
 
+val select_graph : ?name:string -> program -> (Dfg.t, string) result
+(** Pick one top-level graph of a parsed program. Without [name] the
+    program must contain exactly one [dfg] block — several is an error
+    listing the available names, never a silent pick of the first.
+    With [name], the graph of that name (the error again lists what is
+    available). *)
+
 val print_dfg : Buffer.t -> ?behavior:string -> Dfg.t -> unit
 (** Append one block in the format above; [behavior] selects a
     [behavior] block header instead of [dfg]. *)

@@ -1,0 +1,23 @@
+(** Minimal JSON construction.
+
+    H-SYN emits JSON in three places — [hsyn synth --json], the bench
+    harness's [engine-json:] line, and the [--events-json] NDJSON
+    stream — and all three must agree on escaping and number
+    formatting. This module is the single writer they share; there is
+    deliberately no parser (nothing in the system consumes JSON). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values render as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with RFC 8259 string escaping.
+    Floats use ["%.12g"], which round-trips every value the cost
+    models produce while staying readable. *)
+
+val to_buffer : Buffer.t -> t -> unit

@@ -75,22 +75,38 @@ let shared jobs =
   Mutex.unlock shared_lock;
   t
 
-let map_array t f arr =
+exception Cancelled
+
+let map_array ?(cancel = fun () -> false) t f arr =
   let n = Array.length arr in
-  if t.jobs = 1 || n <= 1 then Array.map f arr
+  if t.jobs = 1 || n <= 1 then
+    Array.map
+      (fun x ->
+        if cancel () then raise Cancelled;
+        f x)
+      arr
   else begin
     let results = Array.make n None in
     let pending = ref n in
     let first_error = ref None in
+    let skipped = ref false in
     let all_done = Condition.create () in
     let task i () =
+      (* checking [cancel] here, inside the task, means a fired cancel
+         turns every not-yet-started element into an immediate no-op:
+         the queue drains fast, [pending] reaches 0, and all domains
+         return to the idle loop — nothing is left stuck *)
       let r =
-        try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+        if cancel () then Error None
+        else
+          try Ok (f arr.(i))
+          with e -> Error (Some (e, Printexc.get_raw_backtrace ()))
       in
       Mutex.lock t.mutex;
       (match r with
       | Ok v -> results.(i) <- Some v
-      | Error err -> if !first_error = None then first_error := Some err);
+      | Error None -> skipped := true
+      | Error (Some err) -> if !first_error = None then first_error := Some err);
       decr pending;
       if !pending = 0 then Condition.broadcast all_done;
       Mutex.unlock t.mutex
@@ -115,5 +131,6 @@ let map_array t f arr =
     (match !first_error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
+    if !skipped then raise Cancelled;
     Array.map (function Some v -> v | None -> assert false) results
   end

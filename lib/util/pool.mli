@@ -29,12 +29,23 @@ val default_jobs : unit -> int
 (** The [HSYN_JOBS] environment variable if set to a positive integer,
     else 1. The CLI's [--jobs] flag overrides this. *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+exception Cancelled
+(** Raised by {!map_array} when its [cancel] poll fired before every
+    element was processed. *)
+
+val map_array : ?cancel:(unit -> bool) -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]. Deterministic: the result at index [i] is
     [f arr.(i)] regardless of the pool size or task interleaving. If
     any task raises, the first exception observed is re-raised in the
     caller after all tasks finish. Must not be called re-entrantly
-    from inside a task. *)
+    from inside a task.
+
+    [cancel] is polled (possibly from worker domains — it must be
+    domain-safe) before each element is evaluated. Once it returns
+    true, remaining elements are skipped, every in-flight task is
+    still joined — no domain is ever left stuck or detached — and the
+    call raises {!Cancelled}. A genuine task exception takes
+    precedence over {!Cancelled}. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. The pool must be idle. *)

@@ -121,6 +121,58 @@ end
   let flat = Flatten.flatten prog.Text.registry g in
   checki "ops" 3 (Dfg.n_operations flat)
 
+(* dump → parse over every built-in benchmark: the registry (every
+   variant of every behavior) and the top graph must survive the text
+   format structurally intact *)
+let test_roundtrip_all_benchmarks () =
+  List.iter
+    (fun (b : Hsyn_benchmarks.Suite.t) ->
+      let module Suite = Hsyn_benchmarks.Suite in
+      let prog = { Text.registry = b.Suite.registry; graphs = [ b.Suite.dfg ] } in
+      let reparsed = Text.parse_string (Text.to_string prog) in
+      let ctx msg = Printf.sprintf "%s: %s" b.Suite.name msg in
+      (match reparsed.Text.graphs with
+      | [ g ] -> checkb (ctx "top graph preserved") true (Dfg.equal b.Suite.dfg g)
+      | gs -> Alcotest.failf "%s: expected 1 graph, got %d" b.Suite.name (List.length gs));
+      let names r = List.sort compare (Registry.behaviors r) in
+      Alcotest.(check (list string))
+        (ctx "behaviors preserved") (names b.Suite.registry) (names reparsed.Text.registry);
+      List.iter
+        (fun bname ->
+          let vs1 = Registry.variants b.Suite.registry bname in
+          let vs2 = Registry.variants reparsed.Text.registry bname in
+          checki (ctx (bname ^ " variant count")) (List.length vs1) (List.length vs2);
+          List.iter2
+            (fun v1 v2 -> checkb (ctx (bname ^ " variant preserved")) true (Dfg.equal v1 v2))
+            vs1 vs2)
+        (names b.Suite.registry))
+    (Hsyn_benchmarks.Suite.all () @ [ Hsyn_benchmarks.Suite.paulin () ])
+
+let multi_graph_example = example ^ "\n\ndfg second\n  input a\n  output o a\nend\n"
+
+let test_select_graph () =
+  let prog = Text.parse_string example in
+  (match Text.select_graph prog with
+  | Ok g -> checkb "single graph picked" true (g.Dfg.name = "top")
+  | Error e -> Alcotest.fail e);
+  let multi = Text.parse_string multi_graph_example in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Text.select_graph multi with
+  | Ok _ -> Alcotest.fail "ambiguous selection must be an error"
+  | Error msg ->
+      (* the error must list what is available *)
+      checkb "mentions both names" true (contains msg "top" && contains msg "second"));
+  (match Text.select_graph ~name:"second" multi with
+  | Ok g -> checkb "named pick" true (g.Dfg.name = "second")
+  | Error e -> Alcotest.fail e);
+  match Text.select_graph ~name:"nope" multi with
+  | Ok _ -> Alcotest.fail "unknown name must be an error"
+  | Error _ -> ()
+
 let test_to_dot () =
   let prog = Text.parse_string example in
   let dot = Text.to_dot (List.hd prog.Text.graphs) in
@@ -149,5 +201,11 @@ let () =
           tc "call multi-output" test_call_multi_output;
           tc "from file" test_parse_file;
         ] );
-      ("print", [ tc "roundtrip" test_roundtrip; tc "to_dot" test_to_dot ]);
+      ( "print",
+        [
+          tc "roundtrip" test_roundtrip;
+          tc "roundtrip all benchmarks" test_roundtrip_all_benchmarks;
+          tc "to_dot" test_to_dot;
+        ] );
+      ("select", [ tc "select_graph" test_select_graph ]);
     ]
