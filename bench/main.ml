@@ -503,6 +503,7 @@ let engine_section () =
     Table.create
       ~header:[ "case"; "direct (s)"; "engine (s)"; "speedup"; "cache hits"; "sims skipped"; "identical" ]
   in
+  let sched_before = Sched.stats () in
   let case_objs = ref [] in
   List.iter
     (fun ((b : Suite.t), objective, lf) ->
@@ -555,12 +556,22 @@ let engine_section () =
           ]
         :: !case_objs)
     cases;
+  let sd = Sched.sub_stats (Sched.stats ()) sched_before in
   let json =
     Json.Obj
       [
         ("jobs", Json.Int jobs);
         ("repeats", Json.Int repeats);
         ("result_schema_version", Json.Int S.Result.schema_version);
+        ("sched",
+         Json.Obj
+           [
+             ("schedules", Json.Int sd.Sched.schedules);
+             ("legacy_schedules", Json.Int sd.Sched.legacy_schedules);
+             ("events_popped", Json.Int sd.Sched.events_popped);
+             ("prepared_hits", Json.Int sd.Sched.prepared_hits);
+             ("prepared_builds", Json.Int sd.Sched.prepared_builds);
+           ]);
         ("cases", Json.List (List.rev !case_objs));
       ]
   in
@@ -570,6 +581,85 @@ let engine_section () =
     "Reading: \"identical\" confirms the engine is result-preserving — memoization,\n\
      staged power evaluation and the worker pool change how candidates are costed,\n\
      never which candidate wins.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler-kernel microbenchmark: event-driven vs legacy time-stepped
+   on the largest suite benchmark. Runs even under --no-micro (it is
+   cheap and CI persists its JSON as the BENCH_sched.json artifact). *)
+
+let sched_section () =
+  let module Bm = Bechamel in
+  let module Test = Bechamel.Test in
+  let module Staged = Bechamel.Staged in
+  (* largest built-in behavior by flattened operation count *)
+  let weight (b : Suite.t) = Flatten.total_operations b.Suite.registry b.Suite.dfg in
+  let b =
+    List.fold_left
+      (fun best c -> if weight c > weight best then c else best)
+      (Suite.test1 ()) (Suite.all ())
+  in
+  let n_ops = weight b in
+  header "sched"
+    (Printf.sprintf "Scheduler kernel: event-driven vs legacy (largest benchmark: %s, %d ops)"
+       b.Suite.name n_ops);
+  let ctx = { Design.lib; vdd = 5.0; clk_ns = 20.0 } in
+  let d = Initial.build ctx ~complexes:(fun _ -> []) b.Suite.registry b.Suite.dfg in
+  let cs = Sched.relaxed ~deadline:1000 b.Suite.dfg in
+  let prepared = Sched.prepared_for d.Design.dfg in
+  (* identical results first — a speedup of a wrong kernel is worthless *)
+  let ev = Sched.schedule ~prepared ctx cs d in
+  let lg = Sched.schedule_legacy ctx cs d in
+  let identical =
+    ev.Sched.start = lg.Sched.start && ev.Sched.avail = lg.Sched.avail
+    && ev.Sched.makespan = lg.Sched.makespan && ev.Sched.feasible = lg.Sched.feasible
+  in
+  let tests =
+    [
+      Test.make ~name:"event" (Staged.stage (fun () -> Sched.schedule ~prepared ctx cs d));
+      Test.make ~name:"event-unprepared" (Staged.stage (fun () -> Sched.schedule ctx cs d));
+      Test.make ~name:"legacy" (Staged.stage (fun () -> Sched.schedule_legacy ctx cs d));
+    ]
+  in
+  let ols = Bm.Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Bm.Measure.run |] in
+  let instances = Bm.Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Bm.Benchmark.cfg ~limit:2000 ~quota:(Bm.Time.second 0.5) ~kde:None () in
+  let raw = Bm.Benchmark.all cfg instances (Test.make_grouped ~name:"sched" tests) in
+  let results = Bm.Analyze.all ols Bm.Toolkit.Instance.monotonic_clock raw in
+  let estimate name =
+    match Hashtbl.fold (fun k v acc -> if k = "sched/" ^ name then Some v else acc) results None with
+    | Some r -> ( match Bm.Analyze.OLS.estimates r with Some [ ns ] -> ns | _ -> nan)
+    | None -> nan
+  in
+  let event_ns = estimate "event" in
+  let event_unprep_ns = estimate "event-unprepared" in
+  let legacy_ns = estimate "legacy" in
+  let speedup = legacy_ns /. Float.max 1e-9 event_ns in
+  Printf.printf "  %-20s %12.1f ns/run\n" "event" event_ns;
+  Printf.printf "  %-20s %12.1f ns/run\n" "event (unprepared)" event_unprep_ns;
+  Printf.printf "  %-20s %12.1f ns/run\n" "legacy" legacy_ns;
+  Printf.printf "  speedup (legacy/event): %.2fx   identical schedules: %s\n" speedup
+    (if identical then "yes" else "NO");
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String b.Suite.name);
+        ("total_operations", Json.Int n_ops);
+        ("deadline", Json.Int cs.Sched.deadline);
+        ("event_ns", Json.Float event_ns);
+        ("event_unprepared_ns", Json.Float event_unprep_ns);
+        ("legacy_ns", Json.Float legacy_ns);
+        ("speedup", Json.Float speedup);
+        ("identical", Json.Bool identical);
+        ("quick", Json.Bool quick);
+      ]
+  in
+  let line = Json.to_string json in
+  Printf.printf "sched-json: %s\n" line;
+  let oc = open_out "BENCH_sched.json" in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  (written to BENCH_sched.json)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the synthesis kernels *)
@@ -648,5 +738,6 @@ let () =
   if section "headline" then headline ();
   if section "ablation" then ablation ();
   if section "engine" then engine_section ();
+  if section "sched" then sched_section ();
   if (not no_micro) && section "micro" then micro ();
   Printf.printf "\ndone.\n"

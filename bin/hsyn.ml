@@ -73,13 +73,14 @@ let make_events ~progress ~events_json =
   (sink, close)
 
 let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
-    progress events_json checkpoint resume json show_stats show_rtl show_fsm show_sched
+    progress events_json checkpoint resume json show_stats profile show_rtl show_fsm show_sched
     show_verilog =
   match load_input bench file dfg_name with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
       1
   | Ok (registry, dfg) -> (
+      if profile then Hsyn_util.Timing.set_enabled true;
       let lib = Library.default in
       let objective =
         match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
@@ -160,14 +161,27 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s m
                 Printf.printf "  sweep stopped : %s after %d/%d contexts (best so far shown)\n"
                   (match r.S.coverage.S.stop_reason with Some s -> s | None -> "?")
                   r.S.coverage.S.contexts_done r.S.coverage.S.contexts_planned;
-              if show_stats then begin
+              if show_stats || profile then begin
                 Printf.printf "\nevaluation engine (jobs %d, cache %d, staging %s):\n"
                   policy.Engine.jobs policy.Engine.cache_capacity
                   (if policy.Engine.staged then "on" else "off");
                 Format.printf "  total        %a@." Engine.pp_counters (Engine.global_counters ());
                 List.iter
                   (fun (fam, c) -> Format.printf "  %-12s %a@." fam Engine.pp_counters c)
-                  (Engine.global_family_counters ())
+                  (Engine.global_family_counters ());
+                Format.printf "%a@." Sched.pp_stats (Sched.stats ())
+              end;
+              if profile then begin
+                let module St = Hsyn_util.Stats in
+                Printf.printf "\nstage wall time (per call):\n";
+                List.iter
+                  (fun (name, samples) ->
+                    let ms = List.map (fun s -> s *. 1000.) samples in
+                    Printf.printf
+                      "  %-10s %7d calls  total %8.1f ms  median %7.4f ms  p90 %7.4f ms\n" name
+                      (List.length ms) (List.fold_left ( +. ) 0. ms) (St.median ms)
+                      (St.percentile 90. ms))
+                  (Hsyn_util.Timing.all ())
               end;
               if show_rtl then Format.printf "@.%a@." Design.pp r.S.design;
               let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
@@ -260,7 +274,16 @@ let json_flag =
 let stats_flag =
   Arg.(
     value & flag
-    & info [ "stats" ] ~doc:"Print evaluation-engine statistics (cache, staging, parallelism).")
+    & info [ "stats" ]
+        ~doc:"Print evaluation-engine and scheduler-kernel statistics (cache, staging, parallelism).")
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record per-stage wall time (prepare/schedule/power) during synthesis and print a \
+           breakdown with the statistics (implies $(b,--stats)).")
 let rtl_flag = Arg.(value & flag & info [ "rtl" ] ~doc:"Dump the RTL structure of the result.")
 let fsm_flag = Arg.(value & flag & info [ "fsm" ] ~doc:"Dump the controller FSM of the result.")
 let sched_flag = Arg.(value & flag & info [ "sched" ] ~doc:"Dump the schedule of the result.")
@@ -274,8 +297,8 @@ let synth_cmd =
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
       $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ progress_flag
-      $ events_json_arg $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag $ rtl_flag
-      $ fsm_flag $ sched_flag $ verilog_flag)
+      $ events_json_arg $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag $ profile_flag
+      $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
 
 (* ------------------------------------------------------------------ *)
 (* list / library / dump / dot *)

@@ -23,7 +23,9 @@ type t = {
 }
 
 let magic = "HSYN-CKPT"
-let schema_version = 1
+(* v2: Pass.stats gained the [sched] kernel counters (PR 3), changing
+   the Marshal layout of the incumbent record. *)
+let schema_version = 2
 
 let compatible t ~dfg_name ~objective ~sampling_ns ~flattened =
   if t.dfg_name <> dfg_name then

@@ -28,8 +28,8 @@ type eval = {
    composition, which is what makes staged engine results bit-identical
    to direct evaluation. *)
 
-let schedule_stage ctx cs design =
-  let sch = Sched.schedule ctx cs design in
+let schedule_stage ?prepared ctx cs design =
+  let sch = Sched.schedule ?prepared ctx cs design in
   let area = Area.grand_total (Area.total ctx design ~n_states:(max 1 sch.Sched.makespan)) in
   {
     area;
@@ -42,7 +42,9 @@ let schedule_stage ctx cs design =
 let power_stage ctx cs ~sampling_ns ~trace design partial =
   if not partial.feasible then partial
   else begin
-    let e = Power.energy_per_sample ctx cs design trace in
+    let e =
+      Hsyn_util.Timing.time "power" (fun () -> Power.energy_per_sample ctx cs design trace)
+    in
     {
       partial with
       energy_sample = e;

@@ -33,9 +33,11 @@ val evaluate :
     in area-only searches to skip the simulation. Exactly
     [power_stage] composed on [schedule_stage]. *)
 
-val schedule_stage : Design.ctx -> Sched.constraints -> Design.t -> eval
+val schedule_stage :
+  ?prepared:Sched.Prepared.t -> Design.ctx -> Sched.constraints -> Design.t -> eval
 (** The cheap stage: list scheduling plus the area model. [power] and
-    [energy_sample] are [nan]. Equals [evaluate ~with_power:false]. *)
+    [energy_sample] are [nan]. Equals [evaluate ~with_power:false].
+    [?prepared] is forwarded to {!Sched.schedule}. *)
 
 val power_stage :
   Design.ctx ->

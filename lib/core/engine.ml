@@ -87,6 +87,11 @@ type t = {
   token : Budget.token option;
   cache : (int64, entry) Hashtbl.t;
   order : int64 Queue.t;  (* FIFO eviction order, one slot per fingerprint *)
+  mutable prepared : Sched.Prepared.t option;
+      (* scheduling context of the graph last evaluated; candidates in a
+         batch share their graph physically, so this is one lookup per
+         batch instead of one per candidate. Written only by the domain
+         driving the engine (workers just read it). *)
   mutable totals : counters;
   families : (string, counters) Hashtbl.t;
 }
@@ -125,6 +130,7 @@ let create ?(policy = default_policy) ?token ~ctx ~cs ~sampling_ns ~trace ~objec
     token;
     cache = Hashtbl.create 256;
     order = Queue.create ();
+    prepared = None;
     totals = zero;
     families = Hashtbl.create 8;
   }
@@ -193,7 +199,20 @@ let cache_find t fp design =
 
 (* -- staged evaluation primitives -------------------------------------- *)
 
-let stage1 t design = Cost.schedule_stage t.ctx t.cs design
+(* Make sure [t.prepared] matches [design]'s graph. Must only be called
+   from the engine's owning domain, never from pool workers. *)
+let prime_prepared t (design : Design.t) =
+  match t.prepared with
+  | Some p when Sched.Prepared.dfg p == design.Design.dfg -> ()
+  | _ -> t.prepared <- Some (Sched.prepared_for design.Design.dfg)
+
+let stage1 t (design : Design.t) =
+  let prepared =
+    match t.prepared with
+    | Some p when Sched.Prepared.dfg p == design.Design.dfg -> Some p
+    | _ -> None
+  in
+  Cost.schedule_stage ?prepared t.ctx t.cs design
 
 let stage2 t design partial =
   Cost.power_stage t.ctx t.cs ~sampling_ns:t.sampling_ns ~trace:t.trace design partial
@@ -216,6 +235,7 @@ let fresh_entry t ?(need_power = false) design =
   e
 
 let eval_internal t ~need_power design =
+  prime_prepared t design;
   let fp = Design.fingerprint design in
   match cache_find t fp design with
   | Some e ->
@@ -269,6 +289,9 @@ let best_of t ?family ~limit seq =
   Array.iteri
     (fun _ (tag, _) -> bump t ?fam:(fam tag) { zero with generated = 1 })
     raw;
+  (* All candidates in a batch share their graph physically; prime the
+     prepared context here, before workers start reading it. *)
+  if Array.length raw > 0 then prime_prepared t (snd raw.(0));
   (* Stage 1 (schedule + area) for every cache miss, in parallel. Cache
      probes, in-batch dedup and counter updates stay on this domain:
      duplicate designs within the batch (generators do produce them)

@@ -1,4 +1,5 @@
 module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
 
 type stats = {
   passes : int;
@@ -8,12 +9,14 @@ type stats = {
   log : string list;
   engine : Engine.counters;
   engine_families : (string * Engine.counters) list;
+  sched : Sched.stats;
 }
 
 let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~max_passes d0 =
   let eng = env.Moves.engine in
   let before = Engine.counters eng in
   let fam_before = Engine.family_counters eng in
+  let sched_before = Sched.stats () in
   let value d = Cost.objective_value env.Moves.objective (Engine.evaluate eng d) in
   let stats =
     ref
@@ -25,6 +28,7 @@ let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~ma
         log = [];
         engine = Engine.zero;
         engine_families = [];
+        sched = Sched.zero_stats;
       }
   in
   (* Budget discipline: quotas are consulted only when [in_quota] (the
@@ -50,7 +54,8 @@ let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~ma
              | None -> (f, c))
       |> List.filter (fun (_, (c : Engine.counters)) -> c.Engine.generated > 0)
     in
-    (current, { !stats with engine = delta; engine_families = fam_delta })
+    let sched_delta = Sched.sub_stats (Sched.stats ()) sched_before in
+    (current, { !stats with engine = delta; engine_families = fam_delta; sched = sched_delta })
   in
   if value d0 = infinity then finish d0
   else begin

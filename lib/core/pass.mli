@@ -27,6 +27,9 @@ type stats = {
           the run, not process totals) *)
   engine_families : (string * Engine.counters) list;
       (** same, per move family, families with no candidates omitted *)
+  sched : Hsyn_sched.Sched.stats;
+      (** scheduler-kernel work attributed to this improvement run
+          (delta over the run, not process totals) *)
 }
 
 val improve :

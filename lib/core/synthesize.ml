@@ -265,6 +265,15 @@ module Result = struct
               ("moves_tried", Json.Int r.stats.Pass.moves_tried);
               ("interrupted", Json.Bool r.stats.Pass.interrupted);
               ("engine", counters_json r.stats.Pass.engine);
+              ( "sched",
+                Json.Obj
+                  [
+                    ("schedules", Json.Int r.stats.Pass.sched.Sched.schedules);
+                    ("legacy_schedules", Json.Int r.stats.Pass.sched.Sched.legacy_schedules);
+                    ("events_popped", Json.Int r.stats.Pass.sched.Sched.events_popped);
+                    ("prepared_hits", Json.Int r.stats.Pass.sched.Sched.prepared_hits);
+                    ("prepared_builds", Json.Int r.stats.Pass.sched.Sched.prepared_builds);
+                  ] );
             ] );
         ("elapsed_s", Json.Float r.elapsed_s);
       ]

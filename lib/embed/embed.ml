@@ -1,5 +1,6 @@
 module Design = Hsyn_rtl.Design
 module Fu = Hsyn_modlib.Fu
+module Vec = Hsyn_util.Vec
 
 type correspondence = {
   left_inst : int array;
@@ -34,9 +35,7 @@ let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_modu
       let left_insts = (List.hd left_parts).Design.insts in
       let right_insts = (List.hd right_parts).Design.insts in
       let nl = Array.length left_insts and nr = Array.length right_insts in
-      let merged = Array.make nl (Design.Simple { Fu.name = ""; kind = Fu.Unit []; area = 0.; delay_ns = 0.; energy_cap = 0.; pipelined = false }) in
-      Array.blit left_insts 0 merged 0 nl;
-      let merged = ref (Array.to_list merged) in
+      let merged = Vec.of_array left_insts in
       let left_inst = Array.init nl Fun.id in
       let right_inst = Array.make nr (-1) in
       let taken = Array.make nl false in
@@ -57,7 +56,7 @@ let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_modu
           let best = ref None in
           for l = 0 to nl - 1 do
             if not taken.(l) then
-              match host_cost (List.nth !merged l) right_insts.(r) with
+              match host_cost (Vec.get merged l) right_insts.(r) with
               | Some (kind, cost) -> (
                   match !best with
                   | Some (_, _, c) when c <= cost -> ()
@@ -68,12 +67,10 @@ let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_modu
           | Some (l, kind, _) ->
               taken.(l) <- true;
               right_inst.(r) <- l;
-              merged := List.mapi (fun i k -> if i = l then kind else k) !merged
-          | None ->
-              merged := !merged @ [ right_insts.(r) ];
-              right_inst.(r) <- List.length !merged - 1)
+              Vec.set merged l kind
+          | None -> right_inst.(r) <- Vec.push merged right_insts.(r))
         order;
-      let merged_insts = Array.of_list !merged in
+      let merged_insts = Vec.to_array merged in
       let rl = (List.hd left_parts).Design.n_regs in
       let rr = (List.hd right_parts).Design.n_regs in
       let n_regs = max rl rr in

@@ -23,13 +23,25 @@ and t = {
 (* ------------------------------------------------------------------ *)
 (* Value numbering *)
 
+(* The offsets of a graph are requested on every value query, and the
+   move loop queries the same (physically shared) graph millions of
+   times — memoize the last graph seen, per domain so the evaluation
+   pool needs no locking. *)
+let value_offsets_memo : (Dfg.t * int array) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let value_offsets (dfg : Dfg.t) =
-  let n = Array.length dfg.nodes in
-  let offsets = Array.make (n + 1) 0 in
-  for id = 0 to n - 1 do
-    offsets.(id + 1) <- offsets.(id) + dfg.nodes.(id).Dfg.n_out
-  done;
-  offsets
+  let memo = Domain.DLS.get value_offsets_memo in
+  match !memo with
+  | Some (g, offsets) when g == dfg -> offsets
+  | _ ->
+      let n = Array.length dfg.nodes in
+      let offsets = Array.make (n + 1) 0 in
+      for id = 0 to n - 1 do
+        offsets.(id + 1) <- offsets.(id) + dfg.nodes.(id).Dfg.n_out
+      done;
+      memo := Some (dfg, offsets);
+      offsets
 
 let n_values dfg =
   let offsets = value_offsets dfg in

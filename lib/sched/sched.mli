@@ -46,16 +46,79 @@ type schedule = {
   feasible : bool;  (** deadline and per-output deadlines met *)
 }
 
+(** {1 Kernel selection}
+
+    The event-driven kernel is the default. The original time-stepped
+    kernel is kept verbatim and selectable — [HSYN_SCHED=legacy] in the
+    environment at startup, or {!set_impl} at runtime — so differential
+    tests can prove the two produce bit-identical schedules. *)
+
+type impl = Event | Legacy
+
+val impl : unit -> impl
+val set_impl : impl -> unit
+
+(** {1 Prepared scheduling contexts}
+
+    Everything the scheduler needs that depends only on the DFG (value
+    numbering, topological order, consumer index) is hoisted into a
+    context built once per graph. Candidate designs produced by the
+    move loop share their graph physically, so one context serves
+    thousands of evaluations. *)
+
+module Prepared : sig
+  type t
+
+  val dfg : t -> Dfg.t
+  (** The graph this context was built from. *)
+end
+
+val prepare : Dfg.t -> Prepared.t
+(** Build a context (uncached). *)
+
+val prepared_for : Dfg.t -> Prepared.t
+(** Memoized {!prepare}, keyed by the graph's physical identity
+    (FIFO-bounded). Domain-safe. *)
+
 val module_profile : Design.ctx -> Design.rtl_module -> string -> profile
 (** Profile of a module for one behavior, derived by scheduling the
     corresponding part with all inputs at 0 (recursively through
-    nested modules). *)
+    nested modules). Memoized per (module, kernel, behavior, vdd,
+    clock); domain-safe. *)
 
-val schedule : Design.ctx -> constraints -> Design.t -> schedule
+val schedule : ?prepared:Prepared.t -> Design.ctx -> constraints -> Design.t -> schedule
 (** List-schedule the design. Always returns a schedule; check
-    [feasible] for constraint satisfaction.
+    [feasible] for constraint satisfaction. [?prepared] supplies a
+    reusable context; it is ignored (and looked up/rebuilt) unless it
+    was built from [d.dfg] itself.
     @raise Invalid_argument if the binding is structurally unusable
     (e.g. an unbound operation). *)
+
+val schedule_legacy : Design.ctx -> constraints -> Design.t -> schedule
+(** The original time-stepped kernel, regardless of {!impl}. Reference
+    implementation for differential tests. *)
+
+(** {1 Kernel counters} *)
+
+type stats = {
+  schedules : int;  (** scheduling calls, either kernel, incl. module parts *)
+  legacy_schedules : int;  (** subset served by the legacy kernel *)
+  events_popped : int;  (** queue pops inside the event kernel *)
+  prepared_hits : int;  (** prepared-context cache hits *)
+  prepared_builds : int;  (** prepared-context builds *)
+}
+
+val stats : unit -> stats
+(** Snapshot of the process-wide counters. *)
+
+val reset_stats : unit -> unit
+
+val zero_stats : stats
+
+val sub_stats : stats -> stats -> stats
+(** Pointwise difference, for windowed deltas. *)
+
+val pp_stats : Format.formatter -> stats -> unit
 
 val alap_start : Design.ctx -> deadline:int -> Design.t -> int array
 (** Latest start time of each node under infinite resources — an

@@ -1,0 +1,47 @@
+(* Opt-in wall-clock profiling of named pipeline stages.
+
+   Disabled (the default) it costs one atomic load per probe, so the
+   hooks can stay in hot paths (scheduler, power simulation)
+   permanently. Enabled, samples are appended under a mutex: the
+   recording sites run on evaluation-pool worker domains as well as the
+   main domain. *)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let lock = Mutex.create ()
+let series : (string, float list ref) Hashtbl.t = Hashtbl.create 8
+
+let record name dt_s =
+  if Atomic.get enabled then begin
+    Mutex.lock lock;
+    (match Hashtbl.find_opt series name with
+    | Some cell -> cell := dt_s :: !cell
+    | None -> Hashtbl.add series name (ref [ dt_s ]));
+    Mutex.unlock lock
+  end
+
+let time name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> record name (Unix.gettimeofday () -. t0)) f
+  end
+
+let samples name =
+  Mutex.lock lock;
+  let r = match Hashtbl.find_opt series name with Some cell -> !cell | None -> [] in
+  Mutex.unlock lock;
+  r
+
+let all () =
+  Mutex.lock lock;
+  let r = Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) series [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) r
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset series;
+  Mutex.unlock lock

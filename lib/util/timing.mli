@@ -1,0 +1,27 @@
+(** Opt-in wall-clock profiling of named pipeline stages.
+
+    Recording sites ({!time}, {!record}) are permanently embedded in
+    hot paths — the scheduler's prepare/schedule stages, the power
+    simulation — and cost one atomic load when profiling is off.
+    [hsyn synth --profile] switches it on and prints per-stage
+    percentiles from the collected samples. Domain-safe: samples may be
+    recorded from evaluation-pool workers. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f], appending its wall-clock duration to the
+    series [name] when profiling is enabled (also on exceptions). *)
+
+val record : string -> float -> unit
+(** Append one duration sample (seconds) to a series. *)
+
+val samples : string -> float list
+(** All samples of one series, most recent first; [[]] if unknown. *)
+
+val all : unit -> (string * float list) list
+(** Every series with its samples, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop all samples. *)

@@ -103,6 +103,28 @@ let test_merge_correspondence_total () =
   let sorted = Array.to_list corr.Embed.right_inst |> List.sort compare in
   checkb "injective" true (List.sort_uniq compare sorted = sorted)
 
+let test_merge_correspondence_golden () =
+  (* pin the exact merge of the Figure 3 pair: left components survive
+     in place and in order, matched right components land on them, the
+     unmatched sub is appended after the left block *)
+  let left = rtl1 () in
+  let m, corr = merge () in
+  let left_insts = (snd (List.hd left.Design.parts)).Design.insts in
+  let nl = Array.length left_insts in
+  let merged = (snd (List.hd m.Design.parts)).Design.insts in
+  checkb "left is identity" true (corr.Embed.left_inst = Array.init nl Fun.id);
+  checkb "left block unchanged" true (Array.sub merged 0 nl = left_insts);
+  (* {A2:add, S1:sub, M3:mult} against {M1:mult, M2:mult, A1:add}:
+     the mult reuses the first left mult, the add reuses the left add,
+     the sub is appended *)
+  checkb "right mapping" true (corr.Embed.right_inst = [| 2; 3; 0 |]);
+  let name i =
+    match merged.(i) with Design.Simple fu -> fu.Fu.name | Design.Module m -> m.Design.rm_name
+  in
+  checkb "mult hosts mult" true (name corr.Embed.right_inst.(2) = "mult1");
+  checkb "add hosts add" true (name corr.Embed.right_inst.(0) = "add1");
+  checkb "appended sub" true (name 3 = "sub1")
+
 let test_merge_upgrade_unit_type () =
   (* a module using add1 merged with one using alu1: the shared
      component must be the stronger alu1 *)
@@ -167,6 +189,7 @@ let () =
           tc "area economics" test_merge_area_economics;
           tc "preserves schedules" test_merge_preserves_schedules;
           tc "correspondence total" test_merge_correspondence_total;
+          tc "correspondence golden" test_merge_correspondence_golden;
           tc "upgrades unit type" test_merge_upgrade_unit_type;
           tc "incompatible adds component" test_merge_incompatible_adds_component;
           tc "pp smoke" test_pp_correspondence_smoke;
