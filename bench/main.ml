@@ -662,6 +662,159 @@ let sched_section () =
   Printf.printf "  (written to BENCH_sched.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the same synthesis run with the flight
+   recorder fully off (the default), and fully armed (trace + metrics
+   + profile). The disabled path must be indistinguishable from the
+   pre-observability code: each probe costs one atomic load, and the
+   section both measures that cost directly (Bechamel on a disabled
+   span) and scales it by the run's actual probe count to bound the
+   disabled overhead — the wall-clock medians alone cannot resolve a
+   sub-percent effect over run-to-run noise. *)
+
+let obs_section () =
+  let module Bm = Bechamel in
+  let module Test = Bechamel.Test in
+  let module Staged = Bechamel.Staged in
+  let module Obs = Hsyn_obs in
+  let b = Suite.avenhaus_cascade () in
+  header "obs"
+    (Printf.sprintf "Observability overhead (instrumented vs disabled, %s)" b.Suite.name);
+  let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
+  let sampling_ns = 2.2 *. min_ns in
+  let repeats = if quick then 1 else 3 in
+  let run () =
+    S.run ~config ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns
+  in
+  let timed () = List.init repeats (fun _ -> let r = run () in (r, r.S.elapsed_s)) in
+  let off () =
+    Obs.Trace.set_enabled false;
+    Obs.Metrics.set_enabled false;
+    Obs.Gate.set_profile false
+  in
+  off ();
+  Printf.printf "  running disabled (%d repeat%s) ...\n%!" repeats (if repeats = 1 then "" else "s");
+  let dis_runs = timed () in
+  Obs.Trace.set_capacity 262_144;
+  Obs.Trace.set_enabled true;
+  Obs.Metrics.set_enabled true;
+  Obs.Gate.set_profile true;
+  Printf.printf "  running instrumented (%d repeat%s) ...\n%!" repeats
+    (if repeats = 1 then "" else "s");
+  let en_runs = timed () in
+  (* probe census while the registry is still hot: every span is one
+     stage.* histogram observation *)
+  let probes_per_run =
+    match Obs.Metrics.snapshot () with
+    | Json.Obj fields -> (
+        match List.assoc_opt "histograms" fields with
+        | Some (Json.Obj hists) ->
+            List.fold_left
+              (fun acc (name, h) ->
+                if String.length name > 6 && String.sub name 0 6 = "stage." then
+                  match h with
+                  | Json.Obj hf -> (
+                      match List.assoc_opt "count" hf with
+                      | Some (Json.Int c) -> acc + c
+                      | _ -> acc)
+                  | _ -> acc
+                else acc)
+              0 hists
+            / max 1 repeats
+        | _ -> 0)
+    | _ -> 0
+  in
+  let dropped = Obs.Trace.dropped () in
+  off ();
+  Obs.Trace.reset ();
+  Obs.Metrics.reset ();
+  Hsyn_util.Timing.reset ();
+  (* cost of one disabled probe, measured on the disabled path *)
+  let tests =
+    [
+      Test.make ~name:"disabled-span"
+        (Staged.stage (fun () -> Obs.Trace.span Obs.Trace.Schedule "obs_noop" (fun () -> ())));
+    ]
+  in
+  let ols = Bm.Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Bm.Measure.run |] in
+  let instances = Bm.Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Bm.Benchmark.cfg ~limit:2000 ~quota:(Bm.Time.second 0.5) ~kde:None () in
+  let raw = Bm.Benchmark.all cfg instances (Test.make_grouped ~name:"obs" tests) in
+  let results = Bm.Analyze.all ols Bm.Toolkit.Instance.monotonic_clock raw in
+  let probe_ns =
+    match
+      Hashtbl.fold (fun k v acc -> if k = "obs/disabled-span" then Some v else acc) results None
+    with
+    | Some r -> ( match Bm.Analyze.OLS.estimates r with Some [ ns ] -> ns | _ -> nan)
+    | None -> nan
+  in
+  let med runs = Stats.median (List.map snd runs) in
+  let dis_med = med dis_runs and en_med = med en_runs in
+  let enabled_overhead_pct = 100. *. ((en_med /. Float.max 1e-9 dis_med) -. 1.) in
+  (* disabled overhead = measured per-probe cost x probes actually
+     executed, as a fraction of the disabled run *)
+  let disabled_overhead_pct =
+    probe_ns *. Float.of_int probes_per_run /. (Float.max 1e-9 dis_med *. 1e9) *. 100.
+  in
+  let within_budget = Float.is_nan disabled_overhead_pct = false && disabled_overhead_pct < 2.0 in
+  let e0 = (fst (List.hd dis_runs)).S.eval and e1 = (fst (List.hd en_runs)).S.eval in
+  let identical = e0.Cost.area = e1.Cost.area && e0.Cost.power = e1.Cost.power in
+  let t =
+    Table.create
+      ~header:[ "mode"; "median (s)"; "probes/run"; "probe cost"; "overhead"; "identical" ]
+  in
+  Table.add_row t
+    [
+      "disabled";
+      Printf.sprintf "%.3f" dis_med;
+      string_of_int probes_per_run;
+      Printf.sprintf "%.1f ns" probe_ns;
+      Printf.sprintf "%.4f%% (bound)" disabled_overhead_pct;
+      "-";
+    ];
+  Table.add_row t
+    [
+      "trace+metrics+profile";
+      Printf.sprintf "%.3f" en_med;
+      string_of_int probes_per_run;
+      "-";
+      Printf.sprintf "%.1f%%" enabled_overhead_pct;
+      (if identical then "yes" else "NO");
+    ];
+  Table.print t;
+  if not within_budget then
+    Printf.printf
+      "WARNING: disabled-path overhead bound %.4f%% exceeds the 2%% budget (probe %.1f ns)\n"
+      disabled_overhead_pct probe_ns;
+  if not identical then
+    Printf.printf "WARNING: instrumented run produced a different design\n";
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String b.Suite.name);
+        ("objective", Json.String "power");
+        ("repeats", Json.Int repeats);
+        ("disabled_s", Json.Float dis_med);
+        ("enabled_s", Json.Float en_med);
+        ("probes_per_run", Json.Int probes_per_run);
+        ("probe_ns", Json.Float probe_ns);
+        ("disabled_overhead_pct", Json.Float disabled_overhead_pct);
+        ("enabled_overhead_pct", Json.Float enabled_overhead_pct);
+        ("trace_dropped_events", Json.Int dropped);
+        ("within_budget", Json.Bool within_budget);
+        ("identical", Json.Bool identical);
+        ("quick", Json.Bool quick);
+      ]
+  in
+  let line = Json.to_string json in
+  Printf.printf "obs-json: %s\n" line;
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  (written to BENCH_obs.json)\n";
+  assert within_budget
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the synthesis kernels *)
 
 let micro () =
@@ -739,5 +892,6 @@ let () =
   if section "ablation" then ablation ();
   if section "engine" then engine_section ();
   if section "sched" then sched_section ();
+  if section "obs" then obs_section ();
   if (not no_micro) && section "micro" then micro ();
   Printf.printf "\ndone.\n"

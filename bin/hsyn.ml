@@ -3,6 +3,7 @@
 
    Subcommands:
      synth    synthesize a benchmark or a textual DFG file
+     report   flight-recorder report from a run's NDJSON/trace artifacts
      list     list built-in benchmarks
      library  print the default module library (Table 1)
      dump     print a benchmark in the textual DFG format
@@ -24,6 +25,10 @@ module Budget = Hsyn_core.Budget
 module Events = Hsyn_core.Events
 module S = Hsyn_core.Synthesize
 module Suite = Hsyn_benchmarks.Suite
+module Json = Hsyn_util.Json
+module Metrics = Hsyn_obs.Metrics
+module Trace = Hsyn_obs.Trace
+module Report = Hsyn_obs.Report
 open Cmdliner
 
 let load_input bench file dfg_name =
@@ -50,37 +55,55 @@ let load_input bench file dfg_name =
 (* synth *)
 
 (* Compose the CLI's progress/NDJSON observers into one event sink.
-   Progress goes to stderr so --json output stays machine-clean. *)
+   Progress goes to stderr so --json output stays machine-clean. The
+   NDJSON side goes through the flight recorder's line-atomic sink
+   (one buffered write + flush per line), so an interrupted run leaves
+   a parseable artifact; [close] appends the metrics snapshot as a
+   final [metrics_snapshot] line when metrics are being collected. *)
 let make_events ~progress ~events_json =
   let ndjson =
     match events_json with
     | None -> None
-    | Some "-" -> Some (stdout, false)
-    | Some path -> Some (open_out path, true)
+    | Some "-" -> Some (Report.Sink.of_channel stdout)
+    | Some path -> Some (Report.Sink.create path)
   in
   let sink (e : Events.t) =
     if progress then (
       prerr_endline (Events.to_string e);
       flush stderr);
-    match ndjson with
-    | None -> ()
-    | Some (oc, _) ->
-        output_string oc (Events.to_json e);
-        output_char oc '\n';
-        flush oc
+    Option.iter (fun s -> Report.Sink.line s (Events.to_json e)) ndjson
   in
-  let close () = match ndjson with Some (oc, true) -> close_out oc | _ -> () in
+  let close () =
+    Option.iter
+      (fun s ->
+        if Metrics.is_enabled () then
+          Report.Sink.json s
+            (Json.Obj
+               [ ("event", Json.String "metrics_snapshot"); ("snapshot", Metrics.snapshot ()) ]);
+        Report.Sink.close s)
+      ndjson
+  in
   (sink, close)
 
+let write_json_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string v);
+      output_char oc '\n')
+
 let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
-    progress events_json checkpoint resume json show_stats profile show_rtl show_fsm show_sched
-    show_verilog =
+    progress events_json trace_out metrics_out checkpoint resume json show_stats profile
+    show_rtl show_fsm show_sched show_verilog =
   match load_input bench file dfg_name with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
       1
   | Ok (registry, dfg) -> (
-      if profile then Hsyn_util.Timing.set_enabled true;
+      if profile then Trace.set_profile true;
+      if trace_out <> None then Trace.set_enabled true;
+      if metrics_out <> None || trace_out <> None then Metrics.set_enabled true;
       let lib = Library.default in
       let objective =
         match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
@@ -137,6 +160,10 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s m
             Fun.protect
               ~finally:(fun () ->
                 close_events ();
+                (match trace_out with Some path -> Trace.write path | None -> ());
+                (match metrics_out with
+                | Some path -> write_json_file path (Metrics.snapshot ())
+                | None -> ());
                 Sys.set_signal Sys.sigint previous)
               (fun () -> S.synthesize ~events ~token ?checkpoint ~resume req)
           in
@@ -173,15 +200,19 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s m
               end;
               if profile then begin
                 let module St = Hsyn_util.Stats in
+                let module Timing = Hsyn_util.Timing in
                 Printf.printf "\nstage wall time (per call):\n";
+                (* calls/total come from the exact aggregates; the
+                   percentiles from the bounded reservoir of recent
+                   samples *)
                 List.iter
-                  (fun (name, samples) ->
-                    let ms = List.map (fun s -> s *. 1000.) samples in
+                  (fun (name, (st : Timing.stat)) ->
+                    let ms = List.map (fun s -> s *. 1000.) (Timing.samples name) in
                     Printf.printf
                       "  %-10s %7d calls  total %8.1f ms  median %7.4f ms  p90 %7.4f ms\n" name
-                      (List.length ms) (List.fold_left ( +. ) 0. ms) (St.median ms)
+                      st.Timing.count (st.Timing.sum *. 1000.) (St.median ms)
                       (St.percentile 90. ms))
-                  (Hsyn_util.Timing.all ())
+                  (Timing.stats ())
               end;
               if show_rtl then Format.printf "@.%a@." Design.pp r.S.design;
               let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
@@ -251,6 +282,26 @@ let events_json_arg =
     & info [ "events-json" ] ~docv:"FILE"
         ~doc:"Write the progress-event stream as NDJSON to $(docv) ($(b,-) for stdout).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans (passes, candidate batches, scheduling, power simulation, embedding, \
+           checkpoints) and write a Chrome/Perfetto trace-event JSON file to $(docv). Implies \
+           metrics collection.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect the unified metrics registry during synthesis and write its JSON snapshot to \
+           $(docv). With --events-json, the snapshot is also appended to the event stream as a \
+           final metrics_snapshot line.")
+
 let checkpoint_arg =
   Arg.(
     value
@@ -297,8 +348,109 @@ let synth_cmd =
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
       $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ progress_flag
-      $ events_json_arg $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag $ profile_flag
-      $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
+      $ events_json_arg $ trace_arg $ metrics_arg $ checkpoint_arg $ resume_flag $ json_flag
+      $ stats_flag $ profile_flag $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
+
+(* ------------------------------------------------------------------ *)
+(* report *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let do_report events_path trace_path json_out =
+  let fail msg =
+    prerr_endline ("hsyn: " ^ msg);
+    1
+  in
+  if events_path = None && trace_path = None then
+    fail "report: give a run's --events-json file and/or --trace FILE"
+  else begin
+    let report =
+      match events_path with
+      | None -> Ok None
+      | Some p -> (
+          match Report.load p with
+          | Ok r -> Ok (Some r)
+          | Error e -> Error (Printf.sprintf "%s: %s" p e))
+    in
+    let trace_sum =
+      match trace_path with
+      | None -> Ok None
+      | Some p -> (
+          match Json.of_string (read_file p) with
+          | exception Sys_error e -> Error e
+          | Error e -> Error (Printf.sprintf "%s: %s" p e)
+          | Ok j -> (
+              match Report.trace_summary j with
+              | Ok l -> Ok (Some l)
+              | Error e -> Error (Printf.sprintf "%s: %s" p e)))
+    in
+    match (report, trace_sum) with
+    | Error e, _ | _, Error e -> fail e
+    | Ok r, Ok ts ->
+        let trace_json l =
+          Json.List
+            (List.map
+               (fun (cat, n, ms) ->
+                 Json.Obj
+                   [
+                     ("category", Json.String cat);
+                     ("events", Json.Int n);
+                     ("total_ms", Json.Float ms);
+                   ])
+               l)
+        in
+        if json_out then begin
+          let base =
+            match Option.map Report.to_json r with
+            | Some (Json.Obj fields) -> fields
+            | _ ->
+                [
+                  ("schema_version", Json.Int Report.schema_version);
+                  ("kind", Json.String "hsyn.report");
+                ]
+          in
+          let fields =
+            match ts with Some l -> base @ [ ("trace_summary", trace_json l) ] | None -> base
+          in
+          print_endline (Json.to_string (Json.Obj fields))
+        end
+        else begin
+          Option.iter (fun r -> print_string (Report.render r)) r;
+          Option.iter
+            (fun l ->
+              Printf.printf "\ntrace summary (per category):\n";
+              List.iter
+                (fun (cat, n, ms) -> Printf.printf "  %-12s %8d events  %10.1f ms\n" cat n ms)
+                l)
+            ts
+        end;
+        (* a recorder/result mismatch is a hard failure so CI can rely
+           on the exit code *)
+        match r with Some r when not r.Report.consistent -> 3 | _ -> 0
+  end
+
+let events_path_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"EVENTS.ndjson"
+        ~doc:"NDJSON event stream written by $(b,hsyn synth --events-json).")
+
+let report_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Chrome/Perfetto trace file written by $(b,hsyn synth --trace) to summarize.")
+
+let report_cmd =
+  let doc = "flight-recorder report: per-move-family gain attribution from a run's artifacts" in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const do_report $ events_path_arg $ report_trace_arg $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* list / library / dump / dot *)
@@ -351,6 +503,7 @@ let dump_cmd =
 
 let main =
   let doc = "hierarchical behavioral synthesis of power- and area-optimized circuits" in
-  Cmd.group (Cmd.info "hsyn" ~version:"1.0.0" ~doc) [ synth_cmd; list_cmd; library_cmd; dump_cmd ]
+  Cmd.group (Cmd.info "hsyn" ~version:"1.0.0" ~doc)
+    [ synth_cmd; report_cmd; list_cmd; library_cmd; dump_cmd ]
 
 let () = exit (Cmd.eval' main)

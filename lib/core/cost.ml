@@ -43,7 +43,7 @@ let power_stage ctx cs ~sampling_ns ~trace design partial =
   if not partial.feasible then partial
   else begin
     let e =
-      Hsyn_util.Timing.time "power" (fun () -> Power.energy_per_sample ctx cs design trace)
+      Hsyn_obs.Trace.(span Power) "power" (fun () -> Power.energy_per_sample ctx cs design trace)
     in
     {
       partial with

@@ -1,6 +1,8 @@
 module Design = Hsyn_rtl.Design
 module Sched = Hsyn_sched.Sched
 module Pool = Hsyn_util.Pool
+module Metrics = Hsyn_obs.Metrics
+module Span = Hsyn_obs.Trace
 
 type counters = {
   generated : int;
@@ -109,9 +111,32 @@ let bump_family tbl fam d =
   let cur = match Hashtbl.find_opt tbl fam with Some c -> c | None -> zero in
   Hashtbl.replace tbl fam (add cur d)
 
+(* Mirror a counter delta into the metrics registry as engine.<field>
+   (plus engine.<field>.<family>). Only reached when metrics are
+   enabled, so the interning cost never touches the default path. *)
+let metrics_bump fam d =
+  let put field n =
+    if n <> 0 then begin
+      Metrics.add (Metrics.counter ("engine." ^ field)) n;
+      match fam with
+      | None -> ()
+      | Some f -> Metrics.add (Metrics.counter ("engine." ^ field ^ "." ^ f)) n
+    end
+  in
+  put "generated" d.generated;
+  put "evaluated" d.evaluated;
+  put "cache_hits" d.cache_hits;
+  put "cache_misses" d.cache_misses;
+  put "evictions" d.evictions;
+  put "power_sims" d.power_sims;
+  put "power_skipped" d.power_skipped;
+  put "batches" d.batches;
+  if d.wall_s <> 0. then Metrics.facc (Metrics.fcounter "engine.wall_s") d.wall_s
+
 let bump t ?fam d =
   t.totals <- add t.totals d;
   global_totals := add !global_totals d;
+  if Metrics.is_enabled () then metrics_bump fam d;
   match fam with
   | None -> ()
   | Some f ->
@@ -277,6 +302,7 @@ let take_n n seq =
 let better (v1, i1) (v2, i2) = v1 < v2 || (v1 = v2 && i1 < i2)
 
 let best_of t ?family ~limit seq =
+  Span.span Span.Move "batch" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   check_token t;
   let pool = Pool.shared t.policy.jobs in

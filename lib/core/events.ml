@@ -10,6 +10,14 @@ type payload =
     }
   | Context_started of { index : int; total : int; vdd : float; clk_ns : float; deadline_cycles : int }
   | Pass_done of { context : int; pass : int; moves_committed : int; value : float }
+  | Move_committed of {
+      context : int;
+      pass : int;
+      family : string;
+      description : string;
+      gain : float;
+      value : float;
+    }
   | New_incumbent of {
       context : int;
       vdd : float;
@@ -33,11 +41,13 @@ type t = { at_s : float; payload : payload }
 type sink = t -> unit
 
 let null (_ : t) = ()
+let tee a b : sink = fun e -> a e; b e
 
 let kind_name = function
   | Run_started _ -> "run_started"
   | Context_started _ -> "context_started"
   | Pass_done _ -> "pass_done"
+  | Move_committed _ -> "move_committed"
   | New_incumbent _ -> "new_incumbent"
   | Context_finished _ -> "context_finished"
   | Checkpoint_saved _ -> "checkpoint_saved"
@@ -56,6 +66,9 @@ let to_string { at_s; payload } =
     | Pass_done e ->
         Printf.sprintf "context %d pass %d done: %d moves committed, value %.3f" (e.context + 1)
           e.pass e.moves_committed e.value
+    | Move_committed e ->
+        Printf.sprintf "context %d pass %d commit [%s] %s (gain %.3f, value %.3f)" (e.context + 1)
+          e.pass e.family e.description e.gain e.value
     | New_incumbent e ->
         Printf.sprintf "new incumbent from context %d: vdd=%.1fV clk=%.1fns value=%.3f area=%.1f power=%.3f"
           (e.context + 1) e.vdd e.clk_ns e.value e.area e.power
@@ -95,6 +108,15 @@ let to_json_value ({ at_s; payload } as _t) =
           ("context", Json.Int e.context);
           ("pass", Json.Int e.pass);
           ("moves_committed", Json.Int e.moves_committed);
+          ("value", Json.Float e.value);
+        ]
+    | Move_committed e ->
+        [
+          ("context", Json.Int e.context);
+          ("pass", Json.Int e.pass);
+          ("family", Json.String e.family);
+          ("description", Json.String e.description);
+          ("gain", Json.Float e.gain);
           ("value", Json.Float e.value);
         ]
     | New_incumbent e ->

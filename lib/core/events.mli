@@ -24,6 +24,17 @@ type payload =
       (** one top-level improvement pass finished in context [context];
           [value] is the current objective value of that context's
           design *)
+  | Move_committed of {
+      context : int;
+      pass : int;
+      family : string;  (** {!Moves.kind_name}, e.g. ["A:select"] *)
+      description : string;
+      gain : float;
+      value : float;  (** objective value after this move *)
+    }
+      (** one move of the winning prefix of a top-level pass was
+          committed; emitted in commit order at the end of that pass —
+          the flight recorder's gain-attribution source *)
   | New_incumbent of {
       context : int;
       vdd : float;
@@ -51,6 +62,9 @@ type sink = t -> unit
 
 val null : sink
 (** Drops every event. *)
+
+val tee : sink -> sink -> sink
+(** [tee a b] delivers each event to [a] then [b]. *)
 
 val kind_name : payload -> string
 (** Stable machine name, e.g. ["context_started"]. *)

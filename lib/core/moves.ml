@@ -507,10 +507,15 @@ let split_candidates env (d : Design.t) : candidate Seq.t =
 
 (* ------------------------------------------------------------------ *)
 
-let best_select_or_resynth env cur_value d =
-  best_of env cur_value (Seq.append (select_candidates env d) (resynth_candidates env d))
+let span = Hsyn_obs.Trace.(span Move)
 
-let best_merge env cur_value d = best_of env cur_value (merge_candidates env d)
+let best_select_or_resynth env cur_value d =
+  span "best_select_or_resynth" (fun () ->
+      best_of env cur_value (Seq.append (select_candidates env d) (resynth_candidates env d)))
+
+let best_merge env cur_value d =
+  span "best_merge" (fun () -> best_of env cur_value (merge_candidates env d))
 
 let best_split env cur_value d =
-  if env.allow_split then best_of env cur_value (split_candidates env d) else None
+  if env.allow_split then span "best_split" (fun () -> best_of env cur_value (split_candidates env d))
+  else None

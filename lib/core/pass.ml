@@ -1,5 +1,15 @@
 module Design = Hsyn_rtl.Design
 module Sched = Hsyn_sched.Sched
+module Metrics = Hsyn_obs.Metrics
+module Span = Hsyn_obs.Trace
+
+type committed_move = {
+  cm_pass : int;
+  cm_family : string;
+  cm_description : string;
+  cm_gain : float;
+  cm_value : float;
+}
 
 type stats = {
   passes : int;
@@ -7,12 +17,24 @@ type stats = {
   moves_tried : int;
   interrupted : bool;
   log : string list;
+  committed : committed_move list;
+  reverted : (string * int) list;
   engine : Engine.counters;
   engine_families : (string * Engine.counters) list;
   sched : Sched.stats;
 }
 
-let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~max_passes d0 =
+let log_line (m : committed_move) =
+  Printf.sprintf "[%s] %s (gain %.3f)" m.cm_family m.cm_description m.cm_gain
+
+let bump_reverted reverted fam n =
+  if n = 0 then reverted
+  else
+    let cur = Option.value ~default:0 (List.assoc_opt fam reverted) in
+    (fam, cur + n) :: List.remove_assoc fam reverted
+
+let improve ?token ?(in_quota = false) ?on_pass ?on_commit (env : Moves.env) ~max_moves
+    ~max_passes d0 =
   let eng = env.Moves.engine in
   let before = Engine.counters eng in
   let fam_before = Engine.family_counters eng in
@@ -26,6 +48,8 @@ let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~ma
         moves_tried = 0;
         interrupted = false;
         log = [];
+        committed = [];
+        reverted = [];
         engine = Engine.zero;
         engine_families = [];
         sched = Sched.zero_stats;
@@ -55,7 +79,14 @@ let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~ma
       |> List.filter (fun (_, (c : Engine.counters)) -> c.Engine.generated > 0)
     in
     let sched_delta = Sched.sub_stats (Sched.stats ()) sched_before in
-    (current, { !stats with engine = delta; engine_families = fam_delta; sched = sched_delta })
+    ( current,
+      {
+        !stats with
+        reverted = List.sort compare !stats.reverted;
+        engine = delta;
+        engine_families = fam_delta;
+        sched = sched_delta;
+      } )
   in
   if value d0 = infinity then finish d0
   else begin
@@ -67,16 +98,18 @@ let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~ma
           interrupt ();
           continue_ := false
       | None ->
+          Span.span Span.Pass "pass" (fun () ->
           stats := { !stats with passes = !stats.passes + 1 };
           note Budget.note_pass;
           let cur = ref !current in
           let cur_val = ref (value !cur) in
-          (* tentative sequence: (cumulative gain, design, description) *)
+          (* tentative sequence as committed_move records, newest
+             first; the best-gain prefix is committed at pass end *)
           let cum = ref 0. in
           let best_prefix_gain = ref 0. in
           let best_prefix = ref !current in
-          let best_prefix_log = ref [] in
-          let seq_log = ref [] in
+          let best_prefix_seq = ref [] in
+          let seq = ref [] in
           let steps = ref 0 in
           let stop = ref false in
           while (not !stop) && !steps < max_moves do
@@ -120,24 +153,61 @@ let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~ma
                         cur := m.Moves.candidate;
                         cur_val := Cost.objective_value env.Moves.objective m.Moves.eval;
                         cum := !cum +. m.Moves.gain;
-                        seq_log :=
-                          Printf.sprintf "[%s] %s (gain %.3f)" (Moves.kind_name m.Moves.kind)
-                            m.Moves.description m.Moves.gain
-                          :: !seq_log;
+                        seq :=
+                          {
+                            cm_pass = !stats.passes;
+                            cm_family = Moves.kind_name m.Moves.kind;
+                            cm_description = m.Moves.description;
+                            cm_gain = m.Moves.gain;
+                            cm_value = !cur_val;
+                          }
+                          :: !seq;
                         if !cum > !best_prefix_gain then begin
                           best_prefix_gain := !cum;
                           best_prefix := !cur;
-                          best_prefix_log := !seq_log
+                          best_prefix_seq := !seq
                         end))
           done;
-          if !best_prefix_gain > 1e-9 then begin
+          (* tentative moves beyond the committed prefix are reverted *)
+          let n_reverted = List.length !seq - List.length !best_prefix_seq in
+          let committed_now =
+            if !best_prefix_gain > 1e-9 then List.rev !best_prefix_seq else []
+          in
+          let n_reverted =
+            if committed_now = [] then List.length !seq else n_reverted
+          in
+          let dropped =
+            (* newest-first list: reverted moves are its first [n_reverted] *)
+            List.filteri (fun i _ -> i < n_reverted) !seq
+          in
+          stats :=
+            {
+              !stats with
+              reverted =
+                List.fold_left
+                  (fun acc (m : committed_move) -> bump_reverted acc m.cm_family 1)
+                  !stats.reverted dropped;
+            };
+          if Metrics.is_enabled () then
+            List.iter
+              (fun (m : committed_move) ->
+                Metrics.incr (Metrics.counter ("moves.reverted." ^ m.cm_family)))
+              dropped;
+          if committed_now <> [] then begin
             current := !best_prefix;
             stats :=
               {
                 !stats with
-                moves_committed = !stats.moves_committed + List.length !best_prefix_log;
-                log = !stats.log @ List.rev !best_prefix_log;
-              }
+                moves_committed = !stats.moves_committed + List.length committed_now;
+                log = !stats.log @ List.map log_line committed_now;
+                committed = !stats.committed @ committed_now;
+              };
+            List.iter
+              (fun (m : committed_move) ->
+                if Metrics.is_enabled () then
+                  Metrics.incr (Metrics.counter ("moves.committed." ^ m.cm_family));
+                Option.iter (fun f -> f m) on_commit)
+              committed_now
           end
           else continue_ := false;
           if !stats.interrupted then continue_ := false;
@@ -145,7 +215,7 @@ let improve ?token ?(in_quota = false) ?on_pass (env : Moves.env) ~max_moves ~ma
             (fun f ->
               f !stats.passes !stats.moves_committed
                 (Cost.objective_value env.Moves.objective (Engine.evaluate eng !current)))
-            on_pass
+            on_pass)
     done;
     finish !current
   end

@@ -16,12 +16,26 @@
 
 module Design = Hsyn_rtl.Design
 
+type committed_move = {
+  cm_pass : int;  (** 1-based pass ordinal within this improvement run *)
+  cm_family : string;  (** {!Moves.kind_name}, e.g. ["A:select"] *)
+  cm_description : string;
+  cm_gain : float;
+  cm_value : float;  (** objective value after this move *)
+}
+
 type stats = {
   passes : int;
   moves_committed : int;
   moves_tried : int;
   interrupted : bool;  (** the run was cut short by its budget *)
   log : string list;  (** committed move descriptions, oldest first *)
+  committed : committed_move list;
+      (** the committed moves behind [log], oldest first — the raw
+          material of the flight recorder's gain attribution *)
+  reverted : (string * int) list;
+      (** per family, tentative moves tried but rolled back (beyond
+          the committed prefix of their pass); sorted by family *)
   engine : Engine.counters;
       (** engine work attributed to this improvement run (delta over
           the run, not process totals) *)
@@ -36,6 +50,7 @@ val improve :
   ?token:Budget.token ->
   ?in_quota:bool ->
   ?on_pass:(int -> int -> float -> unit) ->
+  ?on_commit:(committed_move -> unit) ->
   Moves.env ->
   max_moves:int ->
   max_passes:int ->
@@ -53,4 +68,7 @@ val improve :
     responsive to deadline/cancel without perturbing the deterministic
     quota accounting. [on_pass pass moves_committed value] fires after
     each completed pass with the pass ordinal, the total moves
-    committed so far in this run, and the current objective value. *)
+    committed so far in this run, and the current objective value.
+    [on_commit] fires once per committed move, in commit order, at the
+    end of the pass that committed it (tentative moves that are rolled
+    back never reach it). *)

@@ -328,6 +328,7 @@ let make_resynth ?token config registry complexes seed =
    once improvement is underway an interruption surfaces as
    [stats.interrupted] with the best committed prefix. *)
 let run_context ?token ~events ~index (req : Request.t) config dfg (vdd, clk_ns, deadline) =
+  Hsyn_obs.Trace.(span Pass) "context" @@ fun () ->
   let ctx = { Design.lib = req.Request.lib; vdd; clk_ns } in
   let rng = Rng.create config.seed in
   let trace =
@@ -373,9 +374,21 @@ let run_context ?token ~events ~index (req : Request.t) config dfg (vdd, clk_ns,
   let on_pass pass moves value =
     events (Events.Pass_done { context = index; pass; moves_committed = moves; value })
   in
+  let on_commit (m : Pass.committed_move) =
+    events
+      (Events.Move_committed
+         {
+           context = index;
+           pass = m.Pass.cm_pass;
+           family = m.Pass.cm_family;
+           description = m.Pass.cm_description;
+           gain = m.Pass.cm_gain;
+           value = m.Pass.cm_value;
+         })
+  in
   let improved, stats =
-    Pass.improve ?token ~in_quota:true ~on_pass env ~max_moves ~max_passes:config.max_passes
-      initial
+    Pass.improve ?token ~in_quota:true ~on_pass ~on_commit env ~max_moves
+      ~max_passes:config.max_passes initial
   in
   let eval = Engine.evaluate_with_power engine improved in
   (improved, ctx, eval, stats, clib)
@@ -462,14 +475,15 @@ let synthesize ?(events = Events.null) ?token ?checkpoint ?(resume = false) (req
             match checkpoint with
             | None -> ()
             | Some path ->
-                Checkpoint.save path
-                  {
-                    snap0 with
-                    Checkpoint.cursor = !cursor;
-                    passes_run = snap0.Checkpoint.passes_run + Budget.passes_used token;
-                    moves_tried = snap0.Checkpoint.moves_tried + Budget.moves_used token;
-                    incumbent = !committed;
-                  };
+                Hsyn_obs.Trace.(span Checkpoint) "save" (fun () ->
+                    Checkpoint.save path
+                      {
+                        snap0 with
+                        Checkpoint.cursor = !cursor;
+                        passes_run = snap0.Checkpoint.passes_run + Budget.passes_used token;
+                        moves_tried = snap0.Checkpoint.moves_tried + Budget.moves_used token;
+                        incumbent = !committed;
+                      });
                 emit (Events.Checkpoint_saved { path; contexts_done = !cursor })
           in
           let better value inc =
@@ -526,6 +540,7 @@ let synthesize ?(events = Events.null) ?token ?checkpoint ?(resume = false) (req
                        (match inc with
                        | Some i when better value !committed ->
                            committed := Some i;
+                           Hsyn_obs.Trace.(instant Pass) "new_incumbent";
                            emit
                              (Events.New_incumbent
                                 {

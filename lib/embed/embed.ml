@@ -27,6 +27,7 @@ let host_cost (lk : Design.inst_kind) (rk : Design.inst_kind) =
   | Design.Simple _, Design.Module _ | Design.Module _, Design.Simple _ -> None
 
 let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_module) =
+  Hsyn_obs.Trace.(span Embed) "embed" @@ fun () ->
   match merged_behaviors left right with
   | None -> None
   | Some _ ->

@@ -1,0 +1,267 @@
+(* Unified metrics registry: named counters, float accumulators, gauges
+   and fixed-bucket histograms.
+
+   Domain-safety follows the worker-pool model: writers bump a
+   per-domain shard (found or CAS-appended in a lock-free list), so the
+   hot path after the enabled check is one atomic RMW with no
+   contention between the driving domain and pool workers. Readers
+   merge shards on demand; a merge performed after the writing
+   map_array has joined (the only way the synthesis code reads) sees
+   exact totals.
+
+   Handles are registered by name in a process-wide registry; the
+   versioned JSON {!snapshot} is the single machine-readable export
+   (written by [hsyn synth --metrics], teed into the flight-recorder
+   NDJSON, consumed by [hsyn report]). *)
+
+module Json = Hsyn_util.Json
+
+let set_enabled = Gate.set_metrics
+let is_enabled = Gate.metrics_enabled
+
+let schema_version = 1
+
+(* -- lock-free per-domain shard lists ---------------------------------- *)
+
+type 'a shards = (int * 'a) list Atomic.t
+
+let find_shard (type a) (shards : a shards) dom =
+  let rec go = function
+    | [] -> None
+    | (d, s) :: tl -> if d = dom then Some s else go tl
+  in
+  go (Atomic.get shards)
+
+let shard_for (type a) (shards : a shards) (mk : unit -> a) : a =
+  let dom = (Domain.self () :> int) in
+  match find_shard shards dom with
+  | Some s -> s
+  | None ->
+      let rec add () =
+        let cur = Atomic.get shards in
+        match List.assoc_opt dom cur with
+        | Some s -> s
+        | None ->
+            let s = mk () in
+            if Atomic.compare_and_set shards cur ((dom, s) :: cur) then s else add ()
+      in
+      add ()
+
+let fold_shards shards f init =
+  List.fold_left (fun acc (_, s) -> f acc s) init (Atomic.get shards)
+
+(* atomic float accumulate via CAS *)
+let rec fadd (a : float Atomic.t) x =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. x)) then fadd a x
+
+let rec fmin (a : float Atomic.t) x =
+  let v = Atomic.get a in
+  if x < v && not (Atomic.compare_and_set a v x) then fmin a x
+
+let rec fmax (a : float Atomic.t) x =
+  let v = Atomic.get a in
+  if x > v && not (Atomic.compare_and_set a v x) then fmax a x
+
+(* -- metric kinds ------------------------------------------------------ *)
+
+type counter = { c_name : string; c_shards : int Atomic.t shards }
+type fcounter = { f_name : string; f_shards : float Atomic.t shards }
+type gauge = { g_name : string; g_cell : float option Atomic.t }
+
+type hshard = {
+  h_buckets : int Atomic.t array;  (* one per upper edge, plus +inf overflow *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+type histogram = { h_name : string; h_edges : float array; h_shards : hshard shards }
+
+type metric = C of counter | F of fcounter | G of gauge | H of histogram
+
+let metric_name = function
+  | C c -> c.c_name
+  | F f -> f.f_name
+  | G g -> g.g_name
+  | H h -> h.h_name
+
+(* -- registry ---------------------------------------------------------- *)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let intern name mk classify =
+  Mutex.lock registry_lock;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some m -> (
+        match classify m with
+        | Some v -> v
+        | None ->
+            Mutex.unlock registry_lock;
+            invalid_arg (Printf.sprintf "Metrics: %S already registered with another kind" name))
+    | None ->
+        let m, v = mk () in
+        Hashtbl.add registry name m;
+        v
+  in
+  Mutex.unlock registry_lock;
+  r
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = { c_name = name; c_shards = Atomic.make [] } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let fcounter name =
+  intern name
+    (fun () ->
+      let f = { f_name = name; f_shards = Atomic.make [] } in
+      (F f, f))
+    (function F f -> Some f | _ -> None)
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = { g_name = name; g_cell = Atomic.make None } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let default_duration_edges_ms =
+  [| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+
+let histogram ?(edges = default_duration_edges_ms) name =
+  let edges = Array.copy edges in
+  Array.sort compare edges;
+  intern name
+    (fun () ->
+      let h = { h_name = name; h_edges = edges; h_shards = Atomic.make [] } in
+      (H h, h))
+    (function
+      | H h ->
+          if h.h_edges <> edges && edges <> default_duration_edges_ms then
+            invalid_arg (Printf.sprintf "Metrics: histogram %S re-registered with different edges" name)
+          else Some h
+      | _ -> None)
+
+(* -- writes (enabled-checked by the caller for batch sites, or here) --- *)
+
+let add c n =
+  if Gate.metrics_enabled () && n <> 0 then
+    ignore (Atomic.fetch_and_add (shard_for c.c_shards (fun () -> Atomic.make 0)) n : int)
+
+let incr c = add c 1
+
+let facc f x = if Gate.metrics_enabled () then fadd (shard_for f.f_shards (fun () -> Atomic.make 0.)) x
+
+let set g x = if Gate.metrics_enabled () then Atomic.set g.g_cell (Some x)
+
+let fresh_hshard edges () =
+  {
+    h_buckets = Array.init (Array.length edges + 1) (fun _ -> Atomic.make 0);
+    h_count = Atomic.make 0;
+    h_sum = Atomic.make 0.;
+    h_min = Atomic.make infinity;
+    h_max = Atomic.make neg_infinity;
+  }
+
+let bucket_index edges v =
+  let n = Array.length edges in
+  let rec go i = if i >= n then n else if v <= edges.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Gate.metrics_enabled () then begin
+    let s = shard_for h.h_shards (fresh_hshard h.h_edges) in
+    ignore (Atomic.fetch_and_add s.h_buckets.(bucket_index h.h_edges v) 1 : int);
+    ignore (Atomic.fetch_and_add s.h_count 1 : int);
+    fadd s.h_sum v;
+    fmin s.h_min v;
+    fmax s.h_max v
+  end
+
+(* -- merged reads ------------------------------------------------------ *)
+
+let counter_value c = fold_shards c.c_shards (fun acc s -> acc + Atomic.get s) 0
+let fcounter_value f = fold_shards f.f_shards (fun acc s -> acc +. Atomic.get s) 0.
+let gauge_value g = Atomic.get g.g_cell
+
+type hist_view = {
+  edges : float array;
+  counts : int array;  (* length = Array.length edges + 1; last is overflow *)
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+let histogram_view h =
+  let n = Array.length h.h_edges + 1 in
+  let counts = Array.make n 0 in
+  let count = ref 0 and sum = ref 0. and mn = ref infinity and mx = ref neg_infinity in
+  fold_shards h.h_shards
+    (fun () s ->
+      Array.iteri (fun i b -> counts.(i) <- counts.(i) + Atomic.get b) s.h_buckets;
+      count := !count + Atomic.get s.h_count;
+      sum := !sum +. Atomic.get s.h_sum;
+      mn := Float.min !mn (Atomic.get s.h_min);
+      mx := Float.max !mx (Atomic.get s.h_max))
+    ();
+  { edges = Array.copy h.h_edges; counts; count = !count; sum = !sum; min = !mn; max = !mx }
+
+(* -- snapshot ---------------------------------------------------------- *)
+
+let sorted_metrics () =
+  Mutex.lock registry_lock;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun a b -> compare (metric_name a) (metric_name b)) ms
+
+let snapshot () =
+  let counters = ref [] and fcounters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun m ->
+      match m with
+      | C c -> counters := (c.c_name, Json.Int (counter_value c)) :: !counters
+      | F f -> fcounters := (f.f_name, Json.Float (fcounter_value f)) :: !fcounters
+      | G g ->
+          gauges :=
+            (g.g_name, match gauge_value g with Some v -> Json.Float v | None -> Json.Null)
+            :: !gauges
+      | H h ->
+          let v = histogram_view h in
+          hists :=
+            ( h.h_name,
+              Json.Obj
+                [
+                  ("edges", Json.List (Array.to_list (Array.map (fun e -> Json.Float e) v.edges)));
+                  ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) v.counts)));
+                  ("count", Json.Int v.count);
+                  ("sum", Json.Float v.sum);
+                  ("min", if v.count = 0 then Json.Null else Json.Float v.min);
+                  ("max", if v.count = 0 then Json.Null else Json.Float v.max);
+                ] )
+            :: !hists)
+    (sorted_metrics ());
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("kind", Json.String "hsyn.metrics");
+      ("counters", Json.Obj (List.rev !counters));
+      ("fcounters", Json.Obj (List.rev !fcounters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !hists));
+    ]
+
+let reset () =
+  List.iter
+    (function
+      | C c -> Atomic.set c.c_shards []
+      | F f -> Atomic.set f.f_shards []
+      | G g -> Atomic.set g.g_cell None
+      | H h -> Atomic.set h.h_shards [])
+    (sorted_metrics ())

@@ -1,0 +1,73 @@
+(** Unified metrics registry: counters, float accumulators, gauges and
+    fixed-bucket histograms, named, process-wide, domain-safe.
+
+    Writers bump per-domain shards (lock-free CAS-appended lists of
+    atomics, following the evaluation-pool worker model), so recording
+    from pool workers never contends with the driving domain; readers
+    merge the shards on demand. All writes are gated on
+    {!Gate.set_metrics}: when metrics are off a write costs one atomic
+    load.
+
+    Handles are interned by name — [counter "engine.generated"] returns
+    the same counter everywhere — and the naming convention is
+    dot-separated lowercase segments, most general first, with an
+    optional move-family suffix ([engine.generated.A:select]); see
+    DESIGN.md §Observability. Re-registering a name with a different
+    kind (or a histogram with different edges) raises [Invalid_argument].
+
+    {!snapshot} renders every registered metric as one versioned JSON
+    object — the export behind [hsyn synth --metrics], the
+    flight-recorder NDJSON line, and [hsyn report]. *)
+
+module Json = Hsyn_util.Json
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+val schema_version : int
+
+type counter
+type fcounter
+type gauge
+type histogram
+
+val counter : string -> counter
+val fcounter : string -> fcounter
+val gauge : string -> gauge
+
+val default_duration_edges_ms : float array
+(** Bucket upper edges (ms) used for stage-duration histograms. *)
+
+val histogram : ?edges:float array -> string -> histogram
+(** Fixed upper-bound bucket edges (sorted internally); an implicit
+    +inf overflow bucket is appended. Defaults to
+    {!default_duration_edges_ms}. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val facc : fcounter -> float -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+(** All writes are no-ops while metrics are disabled. *)
+
+val counter_value : counter -> int
+val fcounter_value : fcounter -> float
+val gauge_value : gauge -> float option
+
+type hist_view = {
+  edges : float array;
+  counts : int array;  (** one per edge plus a final +inf overflow bucket *)
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty *)
+  max : float;  (** [neg_infinity] when empty *)
+}
+
+val histogram_view : histogram -> hist_view
+(** Shards merged at the moment of the call. Exact whenever the
+    writers have quiesced (e.g. after [Pool.map_array] returned). *)
+
+val snapshot : unit -> Json.t
+(** Versioned JSON of every registered metric, keys sorted. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid). *)

@@ -1,0 +1,94 @@
+(** Flight recorder: aggregates a run's NDJSON artifact (the
+    [--events-json] stream plus its trailing [metrics_snapshot] line)
+    into a per-move-family gain-attribution report, cross-checked
+    against the run's own [run_finished] result. Behind [hsyn report]. *)
+
+module Json = Hsyn_util.Json
+
+(** Line-atomic NDJSON writer: each {!Sink.line} renders into a single
+    [output_string] followed by a flush, so an interrupted run leaves
+    at most the final line incomplete. *)
+module Sink : sig
+  type t
+
+  val of_channel : out_channel -> t
+  (** Wrap (and never close) an existing channel, e.g. stdout. *)
+
+  val create : string -> t
+  (** Open [path] for writing; {!close} closes it. *)
+
+  val line : t -> string -> unit
+  (** Write [s] plus a newline in one buffered write, then flush. *)
+
+  val json : t -> Json.t -> unit
+  (** [line] of the compact rendering. *)
+
+  val close : t -> unit
+end
+
+type family = {
+  fam : string;  (** move-family name, e.g. ["A:select"] *)
+  proposed : int;  (** [engine.generated.<fam>] counter *)
+  evaluated : int;  (** [engine.evaluated.<fam>] counter *)
+  committed : int;  (** [move_committed] events across all contexts *)
+  reverted : int;  (** [moves.reverted.<fam>] counter *)
+  gain : float;  (** cumulative committed gain *)
+  cache_hits : int;
+  cache_misses : int;
+  power_sims : int;
+  power_skipped : int;
+}
+
+type winner = {
+  w_context : int option;
+      (** index of the context matching the result's (vdd, clk, deadline) *)
+  w_committed : int;  (** committed-move events in that context *)
+  w_value : float option;  (** objective value after its last committed move *)
+  w_result_committed : int option;  (** the run's own [stats.moves_committed] *)
+  w_result_area : float option;
+  w_result_power : float option;
+}
+
+type t = {
+  dfg : string option;
+  objective : string option;
+  completed : bool option;
+  elapsed_s : float option;
+  contexts : int;
+  passes : int;
+  families : family list;  (** sorted by family name *)
+  total_committed : int;
+  total_gain : float;
+  winner : winner option;
+  stages : (string * int * float) list;
+      (** stage name, calls, total ms — descending total; from the
+          [stage.*] histograms of the metrics snapshot *)
+  cache_hit_rate : float option;
+  has_metrics : bool;
+  skipped_lines : int;  (** unparseable (e.g. truncated) lines ignored *)
+  consistent : bool;
+      (** recorder agrees with the run's own result: the winning
+          context resolved and its committed-move count equals
+          [stats.moves_committed] *)
+}
+
+val schema_version : int
+
+val of_lines : string list -> (t, string) result
+(** Fold NDJSON lines (blank lines ignored, unparseable lines counted
+    in [skipped_lines]) into a report. [Error] only when no line
+    parses. *)
+
+val load : string -> (t, string) result
+
+val to_json : t -> Json.t
+(** Versioned ([kind = "hsyn.report"]) machine-readable form;
+    deterministic for a fixed input stream. *)
+
+val render : t -> string
+(** Human-readable report: attribution table, stage time shares,
+    winner summary, consistency verdict. *)
+
+val trace_summary : Json.t -> ((string * int * float) list, string) result
+(** Per-category (event count, total duration ms) of a parsed
+    Chrome-trace JSON value, sorted by category name. *)

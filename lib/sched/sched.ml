@@ -2,7 +2,7 @@ module Dfg = Hsyn_dfg.Dfg
 module Design = Hsyn_rtl.Design
 module Fu = Hsyn_modlib.Fu
 module Pqueue = Hsyn_util.Pqueue
-module Timing = Hsyn_util.Timing
+module Span = Hsyn_obs.Trace
 
 type profile = { in_need : int array; out_ready : int array; busy : int }
 
@@ -109,7 +109,7 @@ module Prepared = struct
   let value_index t ({ Dfg.node; out } : Dfg.port) = t.value_off.(node) + out
 
   let build (dfg : Dfg.t) =
-    Timing.time "prepare" (fun () ->
+    Span.span Span.Schedule "prepare" (fun () ->
         Atomic.incr c_prep_builds;
         let n_nodes = Array.length dfg.Dfg.nodes in
         let value_off = Array.make (n_nodes + 1) 0 in
@@ -979,7 +979,7 @@ let module_profile ctx rm behavior =
   module_profile_impl (Atomic.get impl_ref = Legacy) ctx rm behavior
 
 let schedule ?prepared ctx (cs : constraints) (d : Design.t) =
-  Timing.time "schedule" (fun () ->
+  Span.span Span.Schedule "schedule" (fun () ->
       match Atomic.get impl_ref with
       | Legacy -> schedule_legacy ctx cs d
       | Event ->

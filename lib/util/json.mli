@@ -1,10 +1,13 @@
-(** Minimal JSON construction.
+(** Minimal JSON construction and parsing.
 
-    H-SYN emits JSON in three places — [hsyn synth --json], the bench
-    harness's [engine-json:] line, and the [--events-json] NDJSON
-    stream — and all three must agree on escaping and number
-    formatting. This module is the single writer they share; there is
-    deliberately no parser (nothing in the system consumes JSON). *)
+    H-SYN emits JSON in several places — [hsyn synth --json], the bench
+    harness's [engine-json:] line, the [--events-json] NDJSON stream,
+    the [--trace] Perfetto export and the [--metrics] snapshot — and
+    all must agree on escaping and number formatting. This module is
+    the single writer they share. The parser exists for the consumers
+    added with the observability layer ([hsyn report] reads back the
+    flight-recorder NDJSON and trace files); it accepts exactly the
+    subset this module emits (RFC 8259 with BMP [\u] escapes). *)
 
 type t =
   | Null
@@ -21,3 +24,20 @@ val to_string : t -> string
     models produce while staying readable. *)
 
 val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value. Numbers without a fraction or exponent that
+    fit in [int] parse as {!Int}, everything else as {!Float}. Errors
+    carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the value bound to [key], if any;
+    [None] on every other constructor. *)
+
+val to_int_opt : t -> int option
+(** [Int], or an integral [Float] (the writer renders integral floats
+    as [x.0], so round-trips land here). *)
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -2,23 +2,60 @@
 
    Disabled (the default) it costs one atomic load per probe, so the
    hooks can stay in hot paths (scheduler, power simulation)
-   permanently. Enabled, samples are appended under a mutex: the
+   permanently. Enabled, samples are recorded under a mutex: the
    recording sites run on evaluation-pool worker domains as well as the
-   main domain. *)
+   main domain.
+
+   Storage per series is bounded: exact count/sum/min/max aggregates
+   plus a fixed-capacity ring of the most recent samples (the
+   "reservoir" behind the --profile percentiles). Long anytime runs
+   used to accumulate every sample in a [float list ref] for the whole
+   process; now memory per series is O(reservoir_capacity) no matter
+   how long the run. *)
 
 let enabled = Atomic.make false
 let set_enabled b = Atomic.set enabled b
 let is_enabled () = Atomic.get enabled
 
+let reservoir_capacity = 1024
+
+type stat = { count : int; sum : float; min : float; max : float }
+
+type series = {
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+  ring : float array;  (* the last [reservoir_capacity] samples; slot = n mod capacity *)
+}
+
 let lock = Mutex.create ()
-let series : (string, float list ref) Hashtbl.t = Hashtbl.create 8
+let table : (string, series) Hashtbl.t = Hashtbl.create 8
 
 let record name dt_s =
   if Atomic.get enabled then begin
     Mutex.lock lock;
-    (match Hashtbl.find_opt series name with
-    | Some cell -> cell := dt_s :: !cell
-    | None -> Hashtbl.add series name (ref [ dt_s ]));
+    let s =
+      match Hashtbl.find_opt table name with
+      | Some s -> s
+      | None ->
+          let s =
+            {
+              s_count = 0;
+              s_sum = 0.;
+              s_min = infinity;
+              s_max = neg_infinity;
+              ring = Array.make reservoir_capacity 0.;
+            }
+          in
+          Hashtbl.add table name s;
+          s
+    in
+    s.ring.(s.s_count mod reservoir_capacity) <- dt_s;
+    s.s_count <- s.s_count + 1;
+    s.s_sum <- s.s_sum +. dt_s;
+    if dt_s < s.s_min then s.s_min <- dt_s;
+    if dt_s > s.s_max then s.s_max <- dt_s;
     Mutex.unlock lock
   end
 
@@ -29,19 +66,38 @@ let time name f =
     Fun.protect ~finally:(fun () -> record name (Unix.gettimeofday () -. t0)) f
   end
 
+(* most recent first, straight out of the ring *)
+let ring_samples s =
+  let kept = min s.s_count reservoir_capacity in
+  List.init kept (fun i -> s.ring.((s.s_count - 1 - i) mod reservoir_capacity))
+
 let samples name =
   Mutex.lock lock;
-  let r = match Hashtbl.find_opt series name with Some cell -> !cell | None -> [] in
+  let r = match Hashtbl.find_opt table name with Some s -> ring_samples s | None -> [] in
   Mutex.unlock lock;
   r
 
 let all () =
   Mutex.lock lock;
-  let r = Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) series [] in
+  let r = Hashtbl.fold (fun name s acc -> (name, ring_samples s) :: acc) table [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) r
+
+let stat_of s = { count = s.s_count; sum = s.s_sum; min = s.s_min; max = s.s_max }
+
+let stat name =
+  Mutex.lock lock;
+  let r = Option.map stat_of (Hashtbl.find_opt table name) in
+  Mutex.unlock lock;
+  r
+
+let stats () =
+  Mutex.lock lock;
+  let r = Hashtbl.fold (fun name s acc -> (name, stat_of s) :: acc) table [] in
   Mutex.unlock lock;
   List.sort (fun (a, _) (b, _) -> compare a b) r
 
 let reset () =
   Mutex.lock lock;
-  Hashtbl.reset series;
+  Hashtbl.reset table;
   Mutex.unlock lock

@@ -5,7 +5,11 @@
     simulation — and cost one atomic load when profiling is off.
     [hsyn synth --profile] switches it on and prints per-stage
     percentiles from the collected samples. Domain-safe: samples may be
-    recorded from evaluation-pool workers. *)
+    recorded from evaluation-pool workers.
+
+    Memory per series is bounded: exact {!stat} aggregates
+    (count/sum/min/max) plus a ring of the {!reservoir_capacity} most
+    recent samples, so arbitrarily long anytime runs cannot leak. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
@@ -17,11 +21,26 @@ val time : string -> (unit -> 'a) -> 'a
 val record : string -> float -> unit
 (** Append one duration sample (seconds) to a series. *)
 
+val reservoir_capacity : int
+(** How many recent samples each series retains for {!samples}; the
+    {!stat} aggregates remain exact beyond this. *)
+
+type stat = { count : int; sum : float; min : float; max : float }
+(** Exact aggregates over every sample ever recorded to a series
+    (not just the retained reservoir). *)
+
+val stat : string -> stat option
+(** Aggregates of one series; [None] if unknown. *)
+
+val stats : unit -> (string * stat) list
+(** Every series with its aggregates, sorted by name. *)
+
 val samples : string -> float list
-(** All samples of one series, most recent first; [[]] if unknown. *)
+(** The retained samples of one series, most recent first (at most
+    {!reservoir_capacity} of them); [[]] if unknown. *)
 
 val all : unit -> (string * float list) list
-(** Every series with its samples, sorted by name. *)
+(** Every series with its retained samples, sorted by name. *)
 
 val reset : unit -> unit
-(** Drop all samples. *)
+(** Drop all series. *)

@@ -1,0 +1,416 @@
+(* Tests for the hsyn_obs observability library: metrics registry
+   (domain-safe shard merge under pool fan-out), span tracer
+   (Chrome-trace JSON validity), and the flight-recorder report
+   (deterministic aggregation of a fixed NDJSON stream). *)
+
+module Json = Hsyn_util.Json
+module Pool = Hsyn_util.Pool
+module Timing = Hsyn_util.Timing
+module Gate = Hsyn_obs.Gate
+module Metrics = Hsyn_obs.Metrics
+module Trace = Hsyn_obs.Trace
+module Report = Hsyn_obs.Report
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+(* member accessors over parsed JSON; [Option.get] fails the test on a
+   missing/mistyped field, which is the point *)
+let mem k j = Option.value ~default:Json.Null (Json.member k j)
+let geti k j = Option.get (Option.bind (Json.member k j) Json.to_int_opt)
+let getf k j = Option.get (Option.bind (Json.member k j) Json.to_float_opt)
+let gets k j = Option.get (Option.bind (Json.member k j) Json.to_string_opt)
+let getl k j = Option.get (Option.bind (Json.member k j) Json.to_list_opt)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* replace the first occurrence of [needle] in [s] with [repl] *)
+let replace_once s needle repl =
+  let nh = String.length s and nn = String.length needle in
+  let rec go i = if i + nn > nh then None else if String.sub s i nn = needle then Some i else go (i + 1) in
+  match go 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ repl ^ String.sub s (i + nn) (nh - i - nn)
+
+(* every test starts from a clean, disabled recorder *)
+let fresh () =
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  Gate.set_profile false;
+  Trace.reset ();
+  Metrics.reset ();
+  Timing.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Json parser *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+      ]
+  in
+  match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j' ->
+      checks "string member" "a\"b\\c" (gets "s" j');
+      checki "int member" (-42) (geti "i" j');
+      checkf "float member" 1.5 (getf "f" j');
+      checki "list member" 2 (List.length (getl "l" j'))
+
+let test_json_rejects_garbage () =
+  checkb "truncated" true (Result.is_error (Json.of_string "{\"a\": [1, 2"));
+  checkb "trailing" true (Result.is_error (Json.of_string "{} x"));
+  checkb "empty" true (Result.is_error (Json.of_string "   "))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_disabled_writes_dropped () =
+  fresh ();
+  let c = Metrics.counter "t.disabled" in
+  let h = Metrics.histogram ~edges:[| 1. |] "t.disabled.h" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.observe h 0.5;
+  checki "counter untouched" 0 (Metrics.counter_value c);
+  checki "histogram untouched" 0 (Metrics.histogram_view h).Metrics.count
+
+let test_metrics_counter_fanout_exact () =
+  fresh ();
+  Metrics.set_enabled true;
+  let c = Metrics.counter "t.fanout" in
+  let f = Metrics.fcounter "t.fanout.f" in
+  let per_task = 1000 in
+  List.iter
+    (fun jobs ->
+      Metrics.reset ();
+      let pool = Pool.shared jobs in
+      ignore
+        (Pool.map_array pool
+           (fun _ ->
+             for _ = 1 to per_task do
+               Metrics.incr c;
+               Metrics.facc f 0.25
+             done)
+           (Array.init 32 Fun.id));
+      checki (Printf.sprintf "exact sum at jobs=%d" jobs) (32 * per_task) (Metrics.counter_value c);
+      checkf (Printf.sprintf "exact fsum at jobs=%d" jobs) (0.25 *. float_of_int (32 * per_task))
+        (Metrics.fcounter_value f))
+    [ 1; 2; 4 ];
+  fresh ()
+
+let test_metrics_histogram_edges () =
+  fresh ();
+  Metrics.set_enabled true;
+  let h = Metrics.histogram ~edges:[| 1.; 2.; 5. |] "t.hedges" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ];
+  let v = Metrics.histogram_view h in
+  check (Alcotest.array Alcotest.int) "bucket counts (upper-edge inclusive + overflow)"
+    [| 2; 2; 1; 1 |] v.Metrics.counts;
+  checki "count" 6 v.Metrics.count;
+  checkf "sum" 17.0 v.Metrics.sum;
+  checkf "min" 0.5 v.Metrics.min;
+  checkf "max" 7.0 v.Metrics.max;
+  fresh ()
+
+let test_metrics_histogram_fanout_merge () =
+  fresh ();
+  Metrics.set_enabled true;
+  let h = Metrics.histogram ~edges:[| 10.; 20. |] "t.hmerge" in
+  let pool = Pool.shared 4 in
+  ignore
+    (Pool.map_array pool
+       (fun i ->
+         for _ = 1 to 100 do
+           Metrics.observe h (float_of_int (i mod 3 * 10 + 5))
+         done)
+       (Array.init 30 Fun.id));
+  let v = Metrics.histogram_view h in
+  (* i mod 3 = 0/1/2 -> values 5/15/25, ten indices each *)
+  check (Alcotest.array Alcotest.int) "merged buckets" [| 1000; 1000; 1000 |] v.Metrics.counts;
+  checki "merged count" 3000 v.Metrics.count;
+  fresh ()
+
+let test_metrics_kind_clash_raises () =
+  fresh ();
+  ignore (Metrics.counter "t.kind");
+  checkb "re-register as gauge raises" true
+    (try
+       ignore (Metrics.gauge "t.kind");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_snapshot_shape () =
+  fresh ();
+  Metrics.set_enabled true;
+  Metrics.add (Metrics.counter "t.snap.c") 3;
+  Metrics.set (Metrics.gauge "t.snap.g") 2.5;
+  Metrics.observe (Metrics.histogram ~edges:[| 1. |] "t.snap.h") 0.5;
+  let s = Metrics.snapshot () in
+  checki "schema version" Metrics.schema_version (geti "schema_version" s);
+  checks "kind" "hsyn.metrics" (gets "kind" s);
+  checki "counter in snapshot" 3 (geti "t.snap.c" (mem "counters" s));
+  let h = mem "t.snap.h" (mem "histograms" s) in
+  checki "histogram count" 1 (geti "count" h);
+  (* deterministic rendering *)
+  checks "snapshot deterministic" (Json.to_string s) (Json.to_string (Metrics.snapshot ()));
+  fresh ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_disabled_records_nothing () =
+  fresh ();
+  Trace.span Trace.Schedule "t.off" (fun () -> ());
+  Trace.instant Trace.Pass "t.off.i";
+  checki "no events" 0 (List.length (Trace.events ()))
+
+let test_trace_json_validity () =
+  fresh ();
+  Trace.set_enabled true;
+  checki "span result passes through" 41 (Trace.span Trace.Move "t.span" (fun () -> 41));
+  Trace.span Trace.Power "t.power" (fun () -> ignore (Sys.opaque_identity (Array.make 10 0)));
+  Trace.instant Trace.Checkpoint "t.marker";
+  let j = Trace.to_json () in
+  (* the export must round-trip through a strict JSON parser *)
+  let j =
+    match Json.of_string (Json.to_string j) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "trace JSON does not re-parse: %s" e
+  in
+  checks "displayTimeUnit" "ms" (gets "displayTimeUnit" j);
+  let evs = getl "traceEvents" j in
+  checki "three events" 3 (List.length evs);
+  let pid = Unix.getpid () in
+  List.iter
+    (fun e ->
+      let ph = gets "ph" e in
+      checkb "phase is X or i" true (ph = "X" || ph = "i");
+      checkb "ts present and non-negative" true (getf "ts" e >= 0.);
+      checki "pid is this process" pid (geti "pid" e);
+      checkb "tid present" true (Option.bind (Json.member "tid" e) Json.to_int_opt <> None);
+      checkb "name present" true (Option.bind (Json.member "name" e) Json.to_string_opt <> None);
+      checkb "cat present" true (Option.bind (Json.member "cat" e) Json.to_string_opt <> None);
+      if ph = "X" then checkb "dur present on spans" true (getf "dur" e >= 0.)
+      else checks "instant scope" "t" (gets "s" e))
+    evs;
+  checki "no drops" 0 (geti "dropped_events" (mem "otherData" j));
+  fresh ()
+
+let test_trace_ring_bounded () =
+  fresh ();
+  Trace.set_capacity 16;
+  Trace.set_enabled true;
+  for i = 1 to 100 do
+    Trace.span Trace.Move (Printf.sprintf "t.ring.%d" i) (fun () -> ())
+  done;
+  let evs = Trace.events () in
+  checki "ring keeps the newest capacity events" 16 (List.length evs);
+  checki "dropped counted" 84 (Trace.dropped ());
+  (* the survivors are the most recent spans, still in ascending order *)
+  checks "oldest survivor" "t.ring.85" (List.hd evs).Trace.ev_name;
+  fresh ();
+  Trace.set_capacity 65536
+
+let test_trace_feeds_profile_and_metrics () =
+  fresh ();
+  Gate.set_profile true;
+  Metrics.set_enabled true;
+  Trace.span Trace.Schedule "t.feeds" (fun () -> ());
+  checkb "timing series recorded" true
+    (match Timing.stat "t.feeds" with Some st -> st.Timing.count = 1 | None -> false);
+  checki "stage histogram recorded" 1
+    (Metrics.histogram_view (Metrics.histogram "stage.t.feeds")).Metrics.count;
+  checki "but no trace events without --trace" 0 (List.length (Trace.events ()));
+  fresh ()
+
+(* ------------------------------------------------------------------ *)
+(* Timing boundedness (satellite: the profiler must not grow without
+   bound over long anytime runs) *)
+
+let test_timing_bounded () =
+  fresh ();
+  Timing.set_enabled true;
+  let n = Timing.reservoir_capacity + 500 in
+  for i = 1 to n do
+    Timing.record "t.bound" (float_of_int i)
+  done;
+  Timing.set_enabled false;
+  let st = Option.get (Timing.stat "t.bound") in
+  checki "aggregate count exact" n st.Timing.count;
+  checkf "aggregate sum exact" (float_of_int (n * (n + 1) / 2)) st.Timing.sum;
+  checkf "min exact" 1. st.Timing.min;
+  checkf "max exact" (float_of_int n) st.Timing.max;
+  let samples = Timing.samples "t.bound" in
+  checki "reservoir bounded" Timing.reservoir_capacity (List.length samples);
+  checkf "most recent first" (float_of_int n) (List.hd samples);
+  fresh ()
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+(* A miniature flight-recorder stream: two contexts, the second wins. *)
+let fixture =
+  [
+    {|{"at_s":0.0,"event":"run_started","dfg":"fixture","objective":"power","sampling_ns":20.0,"contexts_planned":2}|};
+    {|{"at_s":0.1,"event":"context_started","index":0,"total":2,"vdd":5.0,"clk_ns":20.0,"deadline_cycles":40}|};
+    {|{"at_s":0.2,"event":"move_committed","context":0,"pass":0,"family":"A:select","description":"mult m1 -> slow","gain":1.5,"value":98.5}|};
+    {|{"at_s":0.3,"event":"pass_done","context":0,"pass":0,"moves_committed":1,"value":98.5}|};
+    {|{"at_s":0.4,"event":"context_finished","index":0,"feasible":true}|};
+    {|{"at_s":0.5,"event":"context_started","index":1,"total":2,"vdd":3.3,"clk_ns":25.0,"deadline_cycles":40}|};
+    {|{"at_s":0.6,"event":"move_committed","context":1,"pass":0,"family":"A:select","description":"adder a2 -> ripple","gain":2.0,"value":88.0}|};
+    {|{"at_s":0.7,"event":"move_committed","context":1,"pass":0,"family":"C:merge","description":"merge u1 u2","gain":3.0,"value":85.0}|};
+    {|{"at_s":0.8,"event":"pass_done","context":1,"pass":0,"moves_committed":2,"value":85.0}|};
+    {|{"at_s":0.9,"event":"new_incumbent","context":1,"vdd":3.3,"clk_ns":25.0,"value":85.0,"area":120.0,"power":85.0}|};
+    {|{"at_s":1.0,"event":"context_finished","index":1,"feasible":true}|};
+    {|{"at_s":1.1,"event":"run_finished","completed":true,"contexts_done":2,"contexts_planned":2,"elapsed_s":1.1,"result":{"context":{"vdd":3.3,"clk_ns":25.0,"deadline_cycles":40},"eval":{"area":120.0,"power":85.0},"stats":{"moves_committed":2}}}|};
+    {|{"event":"metrics_snapshot","snapshot":{"schema_version":1,"kind":"hsyn.metrics","counters":{"engine.generated":40,"engine.generated.A:select":30,"engine.generated.C:merge":10,"engine.evaluated":24,"engine.evaluated.A:select":18,"engine.evaluated.C:merge":6,"engine.cache_hits":16,"engine.cache_misses":24,"moves.committed.A:select":2,"moves.committed.C:merge":1,"moves.reverted.A:select":4},"fcounters":{},"gauges":{},"histograms":{"stage.schedule":{"edges":[1.0],"counts":[5,0],"count":5,"sum":2.5,"min":0.4,"max":0.6},"stage.power":{"edges":[1.0],"counts":[3,1],"count":4,"sum":7.5,"min":0.5,"max":4.0}}}}|};
+  ]
+
+let report () =
+  match Report.of_lines fixture with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "fixture did not aggregate: %s" e
+
+let test_report_aggregates () =
+  let r = report () in
+  checks "dfg" "fixture" (Option.get r.Report.dfg);
+  checki "contexts" 2 r.Report.contexts;
+  checki "passes" 2 r.Report.passes;
+  checki "total committed" 3 r.Report.total_committed;
+  checkf "total gain" 6.5 r.Report.total_gain;
+  checkb "metrics seen" true r.Report.has_metrics;
+  checki "nothing skipped" 0 r.Report.skipped_lines;
+  let fam name =
+    match List.find_opt (fun f -> f.Report.fam = name) r.Report.families with
+    | Some f -> f
+    | None -> Alcotest.failf "family %s missing" name
+  in
+  let a = fam "A:select" in
+  checki "A proposed" 30 a.Report.proposed;
+  checki "A evaluated" 18 a.Report.evaluated;
+  checki "A committed" 2 a.Report.committed;
+  checki "A reverted" 4 a.Report.reverted;
+  checkf "A gain" 3.5 a.Report.gain;
+  let c = fam "C:merge" in
+  checki "C committed" 1 c.Report.committed;
+  checkf "C gain" 3.0 c.Report.gain;
+  checkf "cache hit rate" 0.4 (Option.get r.Report.cache_hit_rate);
+  (match r.Report.stages with
+  | (s0, n0, ms0) :: (s1, n1, _) :: [] ->
+      checks "power dominates" "power" s0;
+      checki "power calls" 4 n0;
+      checkf "power total ms" 7.5 ms0;
+      checks "then schedule" "schedule" s1;
+      checki "schedule calls" 5 n1
+  | l -> Alcotest.failf "expected two stages, got %d" (List.length l));
+  match r.Report.winner with
+  | None -> Alcotest.fail "winner missing"
+  | Some w ->
+      checki "winning context" 1 (Option.get w.Report.w_context);
+      checki "winner committed" 2 w.Report.w_committed;
+      checkf "winner value" 85.0 (Option.get w.Report.w_value);
+      checki "result committed" 2 (Option.get w.Report.w_result_committed);
+      checkb "consistent" true r.Report.consistent
+
+let test_report_deterministic () =
+  let a = Json.to_string (Report.to_json (report ())) in
+  let b = Json.to_string (Report.to_json (report ())) in
+  checks "identical JSON for identical input" a b;
+  let r = Report.render (report ()) in
+  checkb "render mentions every family" true
+    (List.for_all (contains r) [ "A:select"; "C:merge" ])
+
+let test_report_counts_truncated_lines () =
+  let r =
+    match Report.of_lines (fixture @ [ {|{"at_s":1.2,"event":"run_fin|}; "" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "unexpected: %s" e
+  in
+  checki "truncated tail skipped, blank ignored" 1 r.Report.skipped_lines;
+  checki "aggregates unaffected" 3 r.Report.total_committed
+
+let test_report_detects_mismatch () =
+  let tampered =
+    List.map
+      (fun l ->
+        if contains l {|"event":"run_finished"|} then
+          replace_once l {|"moves_committed":2|} {|"moves_committed":7|}
+        else l)
+      fixture
+  in
+  match Report.of_lines tampered with
+  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Ok r -> checkb "mismatch flagged" false r.Report.consistent
+
+let test_report_rejects_empty () =
+  checkb "no parseable line is an error" true (Result.is_error (Report.of_lines [ "nope"; "" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Sink *)
+
+let test_sink_line_atomic () =
+  let path = Filename.temp_file "hsyn_obs" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = Report.Sink.create path in
+      Report.Sink.line s {|{"a":1}|};
+      Report.Sink.json s (Json.Obj [ ("b", Json.Int 2) ]);
+      (* flushed per line: both lines durable before close *)
+      let ic = open_in path in
+      let l1 = input_line ic and l2 = input_line ic in
+      close_in ic;
+      Report.Sink.close s;
+      checks "first line" {|{"a":1}|} l1;
+      checks "second line" {|{"b":2}|} l2)
+
+(* ------------------------------------------------------------------ *)
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "hsyn_obs"
+    [
+      ( "json",
+        [ tc "roundtrip" `Quick test_json_roundtrip; tc "rejects garbage" `Quick test_json_rejects_garbage ] );
+      ( "metrics",
+        [
+          tc "disabled writes dropped" `Quick test_metrics_disabled_writes_dropped;
+          tc "counter fan-out exact" `Quick test_metrics_counter_fanout_exact;
+          tc "histogram edges" `Quick test_metrics_histogram_edges;
+          tc "histogram fan-out merge" `Quick test_metrics_histogram_fanout_merge;
+          tc "kind clash raises" `Quick test_metrics_kind_clash_raises;
+          tc "snapshot shape" `Quick test_metrics_snapshot_shape;
+        ] );
+      ( "trace",
+        [
+          tc "disabled records nothing" `Quick test_trace_disabled_records_nothing;
+          tc "json validity" `Quick test_trace_json_validity;
+          tc "ring bounded" `Quick test_trace_ring_bounded;
+          tc "feeds profile and metrics" `Quick test_trace_feeds_profile_and_metrics;
+        ] );
+      ("timing", [ tc "bounded memory" `Quick test_timing_bounded ]);
+      ( "report",
+        [
+          tc "aggregates fixture" `Quick test_report_aggregates;
+          tc "deterministic" `Quick test_report_deterministic;
+          tc "counts truncated lines" `Quick test_report_counts_truncated_lines;
+          tc "detects result mismatch" `Quick test_report_detects_mismatch;
+          tc "rejects empty stream" `Quick test_report_rejects_empty;
+        ] );
+      ("sink", [ tc "line atomic" `Quick test_sink_line_atomic ]);
+    ]
