@@ -501,9 +501,91 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"print a benchmark in the textual DFG exchange format")
     Term.(const do_dump $ bench_arg $ file_arg $ dfg_arg $ dot_flag)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+module Fuzz = Hsyn_fuzz.Fuzz
+
+let do_fuzz seed runs oracles corpus metrics_out =
+  match Fuzz.validate_oracles oracles with
+  | Error msg ->
+      prerr_endline ("hsyn: " ^ msg);
+      2
+  | Ok () ->
+      Metrics.set_enabled true;
+      let config = { Fuzz.default_config with Fuzz.seed; runs; oracles; corpus = Some corpus } in
+      let report = Fuzz.run config in
+      Printf.printf "%-18s %6s %6s\n" "oracle" "pass" "fail";
+      List.iter
+        (fun (s : Fuzz.oracle_summary) ->
+          Printf.printf "%-18s %6d %6d\n" s.Fuzz.o_name s.Fuzz.passed s.Fuzz.failed)
+        report.Fuzz.summaries;
+      List.iter
+        (fun (f : Fuzz.failure) ->
+          let first_line = match String.index_opt f.Fuzz.message '\n' with
+            | Some i -> String.sub f.Fuzz.message 0 i
+            | None -> f.Fuzz.message
+          in
+          Printf.printf "FAIL %s run %d: %s\n" f.Fuzz.oracle f.Fuzz.run first_line;
+          Printf.printf "  shrunk %d -> %d nodes (%d steps, %d oracle re-runs)\n"
+            f.Fuzz.shrink.Hsyn_fuzz.Shrink.size_before f.Fuzz.shrink.Hsyn_fuzz.Shrink.size_after
+            f.Fuzz.shrink.Hsyn_fuzz.Shrink.steps f.Fuzz.shrink.Hsyn_fuzz.Shrink.checks_used;
+          Option.iter (Printf.printf "  repro: %s\n") f.Fuzz.repro_path)
+        report.Fuzz.failures;
+      (match metrics_out with
+      | Some path -> write_json_file path (Metrics.snapshot ())
+      | None -> ());
+      if report.Fuzz.failures = [] then begin
+        Printf.printf "ok: %d runs, %d oracles, no divergence\n" report.Fuzz.total_runs
+          (List.length report.Fuzz.summaries);
+        0
+      end
+      else 1
+
+let fuzz_seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Base RNG seed of the campaign.")
+
+let fuzz_runs_arg =
+  Arg.(value & opt int 100 & info [ "runs" ] ~docv:"K" ~doc:"Number of random programs to draw.")
+
+let fuzz_oracle_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "oracle" ] ~docv:"NAME"
+        ~doc:
+          "Run only this oracle (repeatable). The per-run RNG streams do not depend on the \
+           selection, so a failure found by a full campaign reproduces under its oracle alone. \
+           Known oracles: roundtrip, sched-diff, engine-direct, checkpoint-resume, jobs, embed.")
+
+let fuzz_corpus_arg =
+  Arg.(
+    value
+    & opt string "fuzz-corpus"
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Directory for shrunk failing-program repro files (created on first failure).")
+
+let fuzz_cmd =
+  let doc = "differential fuzzing: random hierarchical programs through paired implementations" in
+  let man =
+    [
+      `S Cmdliner.Manpage.s_description;
+      `P
+        "Draws random well-formed hierarchical DFG programs and checks, per program, that \
+         implementations which must agree do agree: the event-driven scheduler against the legacy \
+         kernel, the memoized evaluation engine against direct cost evaluation, print against \
+         parse, checkpoint-resume against an uninterrupted sweep, parallel against sequential \
+         evaluation, and module merging against behavioral simulation. Failing programs are \
+         shrunk to minimal $(b,.hsyn) repro files in the corpus directory.";
+    ]
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const do_fuzz $ fuzz_seed_arg $ fuzz_runs_arg $ fuzz_oracle_arg $ fuzz_corpus_arg
+      $ metrics_arg)
+
 let main =
   let doc = "hierarchical behavioral synthesis of power- and area-optimized circuits" in
   Cmd.group (Cmd.info "hsyn" ~version:"1.0.0" ~doc)
-    [ synth_cmd; report_cmd; list_cmd; library_cmd; dump_cmd ]
+    [ synth_cmd; report_cmd; list_cmd; library_cmd; dump_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

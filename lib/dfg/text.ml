@@ -19,7 +19,12 @@ type block = { header : [ `Dfg of string | `Behavior of string * string ]; body 
 
 let tokenize_line line =
   let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
-  String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t') |> List.filter (( <> ) "")
+  (* '\r' is whitespace too: CRLF files split on '\n' leave a trailing
+     '\r' on every line, which must not stick to the last token *)
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (( <> ) "")
 
 let parse_int lineno s =
   match int_of_string_opt s with Some v -> v | None -> fail lineno "expected integer, got %S" s

@@ -9,6 +9,30 @@ type correspondence = {
   right_reg : int array;
 }
 
+(* Every part of a well-formed module shares one resource set (the
+   [Design.rtl_module] invariant). Both the merge and the
+   correspondence printer lean on that — so check it and fail with a
+   diagnosable error instead of silently reading only the first part
+   (or crashing on a part-less module). *)
+let representative_part what (m : Design.rtl_module) =
+  match m.Design.parts with
+  | [] -> invalid_arg (Printf.sprintf "%s: module %s has no parts" what m.Design.rm_name)
+  | (b0, p0) :: rest ->
+      List.iter
+        (fun (b, (p : Design.t)) ->
+          if p.Design.insts <> p0.Design.insts then
+            invalid_arg
+              (Printf.sprintf
+                 "%s: module %s: parts %s and %s disagree on the shared instance set" what
+                 m.Design.rm_name b0 b)
+          else if p.Design.n_regs <> p0.Design.n_regs then
+            invalid_arg
+              (Printf.sprintf
+                 "%s: module %s: parts %s and %s disagree on the register count (%d vs %d)" what
+                 m.Design.rm_name b0 b p0.Design.n_regs p.Design.n_regs))
+        rest;
+      p0
+
 let merged_behaviors (a : Design.rtl_module) (b : Design.rtl_module) =
   let ba = Design.module_behaviors a and bb = Design.module_behaviors b in
   if List.exists (fun x -> List.mem x ba) bb then None else Some (ba @ bb)
@@ -31,10 +55,10 @@ let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_modu
   match merged_behaviors left right with
   | None -> None
   | Some _ ->
-      let left_parts = List.map snd left.Design.parts in
-      let right_parts = List.map snd right.Design.parts in
-      let left_insts = (List.hd left_parts).Design.insts in
-      let right_insts = (List.hd right_parts).Design.insts in
+      let left_rep = representative_part "Embed.merge_modules" left in
+      let right_rep = representative_part "Embed.merge_modules" right in
+      let left_insts = left_rep.Design.insts in
+      let right_insts = right_rep.Design.insts in
       let nl = Array.length left_insts and nr = Array.length right_insts in
       let merged = Vec.of_array left_insts in
       let left_inst = Array.init nl Fun.id in
@@ -72,8 +96,8 @@ let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_modu
           | None -> right_inst.(r) <- Vec.push merged right_insts.(r))
         order;
       let merged_insts = Vec.to_array merged in
-      let rl = (List.hd left_parts).Design.n_regs in
-      let rr = (List.hd right_parts).Design.n_regs in
+      let rl = left_rep.Design.n_regs in
+      let rr = right_rep.Design.n_regs in
       let n_regs = max rl rr in
       let left_reg = Array.init rl Fun.id in
       let right_reg = Array.init rr Fun.id in
@@ -93,7 +117,8 @@ let merge_modules _ctx ~name (left : Design.rtl_module) (right : Design.rtl_modu
       Some (rm, { left_inst; right_inst; left_reg; right_reg })
 
 let pp_correspondence fmt ((left : Design.rtl_module), (right : Design.rtl_module), (m : Design.rtl_module), corr) =
-  let merged_insts = (snd (List.hd m.Design.parts)).Design.insts in
+  let rep = representative_part "Embed.pp_correspondence" m in
+  let merged_insts = rep.Design.insts in
   let find map i =
     let found = ref None in
     Array.iteri (fun orig dst -> if dst = i then found := Some orig) map;
@@ -107,7 +132,7 @@ let pp_correspondence fmt ((left : Design.rtl_module), (right : Design.rtl_modul
       Format.fprintf fmt "  M%d (%a): left=%s right=%s@," i Design.pp_inst_kind kind
         (side corr.left_inst) (side corr.right_inst))
     merged_insts;
-  let n_regs = (snd (List.hd m.Design.parts)).Design.n_regs in
+  let n_regs = rep.Design.n_regs in
   for r = 0 to n_regs - 1 do
     let side map = if r < Array.length map then Printf.sprintf "r%d" r else "-" in
     Format.fprintf fmt "  q%d: left=%s right=%s@," r (side corr.left_reg) (side corr.right_reg)

@@ -14,7 +14,14 @@
     Timing legality of a merge is not decided here: the synthesis move
     that proposes it re-schedules the surrounding circuit with the
     merged module's profiles, per the paper's "validity is checked by
-    scheduling". *)
+    scheduling".
+
+    Both {!merge_modules} and {!pp_correspondence} validate the
+    [Design.rtl_module] invariant that every part of a module shares
+    one instance array and register count; they raise
+    [Invalid_argument] with a diagnosable message (instead of silently
+    reading the first part, or crashing on a part-less module) when
+    handed a malformed module. *)
 
 module Design = Hsyn_rtl.Design
 

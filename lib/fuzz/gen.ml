@@ -1,0 +1,162 @@
+module Rng = Hsyn_util.Rng
+module Dfg = Hsyn_dfg.Dfg
+module Op = Hsyn_dfg.Op
+module Registry = Hsyn_dfg.Registry
+module Text = Hsyn_dfg.Text
+module B = Dfg.Builder
+
+type params = {
+  max_behaviors : int;
+  max_variants : int;
+  max_ops : int;
+  max_inputs : int;
+  max_call_depth : int;
+  call_prob : float;
+  delay_prob : float;
+  const_prob : float;
+}
+
+let default_params =
+  {
+    max_behaviors = 3;
+    max_variants = 2;
+    max_ops = 8;
+    max_inputs = 3;
+    max_call_depth = 2;
+    call_prob = 0.3;
+    delay_prob = 0.12;
+    const_prob = 0.15;
+  }
+
+type callee = { cname : string; cin : int; cout : int }
+
+(* One well-formed graph. Nodes are drawn in sequence; every operand is
+   a uniformly random previously created value, which biases toward
+   reconvergent fanout (the interesting case for binding and register
+   sharing). Delays are created with a placeholder source and fed at
+   the end from the full value set, so recurrences through later nodes
+   arise naturally. *)
+let graph rng p ~name ~n_inputs ~n_outputs ~callees ~allow_delay =
+  let b = B.create name in
+  let values = ref [] in
+  let n_values = ref 0 in
+  let push v =
+    values := v :: !values;
+    incr n_values
+  in
+  for i = 0 to n_inputs - 1 do
+    push (B.input b (Printf.sprintf "i%d" i))
+  done;
+  let pick () = List.nth !values (Rng.int rng !n_values) in
+  let feeds = ref [] in
+  let n_nodes = 1 + Rng.int rng p.max_ops in
+  for k = 0 to n_nodes - 1 do
+    let r = Rng.float rng in
+    (* the first drawn node is always an operation so no graph
+       degenerates to pure wiring *)
+    if k > 0 && allow_delay && r < p.delay_prob then begin
+      let port, feed = B.delay_feed b ~init:(Rng.int rng 16) () in
+      feeds := feed :: !feeds;
+      push port
+    end
+    else if k > 0 && r < p.delay_prob +. p.const_prob then
+      push (B.const b (Rng.int rng 256 - 64))
+    else if k > 0 && callees <> [] && r < p.delay_prob +. p.const_prob +. p.call_prob then begin
+      let c = Rng.pick rng callees in
+      let args = List.init c.cin (fun _ -> pick ()) in
+      let outs = B.call b ~behavior:c.cname ~n_out:c.cout args in
+      Array.iter push outs
+    end
+    else begin
+      let op = Rng.pick rng Op.all in
+      let args = List.init (Op.arity op) (fun _ -> pick ()) in
+      push (B.op b op args)
+    end
+  done;
+  List.iter (fun feed -> feed (pick ())) !feeds;
+  for _ = 1 to n_outputs do
+    B.output b (pick ())
+  done;
+  B.finish b
+
+let program ?(params = default_params) rng =
+  let n_beh = Rng.int rng (params.max_behaviors + 1) in
+  (* behaviors in creation order; behavior [i] may only call earlier
+     behaviors whose hierarchy depth still leaves room under
+     [max_call_depth], so the call DAG is non-recursive and bounded *)
+  let behaviors = ref [] (* (callee, depth, variants) newest first *) in
+  let depth_of name =
+    match List.find_opt (fun (c, _, _) -> c.cname = name) !behaviors with
+    | Some (_, d, _) -> d
+    | None -> 0
+  in
+  for i = 0 to n_beh - 1 do
+    let cname = Printf.sprintf "f%d" i in
+    let cin = 1 + Rng.int rng 3 and cout = 1 + Rng.int rng 2 in
+    let eligible =
+      List.filter (fun (_, d, _) -> d < params.max_call_depth) !behaviors
+      |> List.map (fun (c, _, _) -> c)
+    in
+    let callees = List.filter (fun _ -> Rng.bool rng) eligible in
+    let n_var = 1 + Rng.int rng params.max_variants in
+    let variants =
+      List.init n_var (fun v ->
+          (* module behaviors are stateless (see DESIGN.md): no delays
+             below the top level *)
+          graph rng params
+            ~name:(Printf.sprintf "%s_v%d" cname v)
+            ~n_inputs:cin ~n_outputs:cout ~callees ~allow_delay:false)
+    in
+    let depth =
+      List.fold_left
+        (fun acc variant ->
+          List.fold_left (fun acc callee -> max acc (1 + depth_of callee)) acc
+            (Dfg.called_behaviors variant))
+        0 variants
+    in
+    behaviors := ({ cname; cin; cout }, depth, variants) :: !behaviors
+  done;
+  let behaviors = List.rev !behaviors in
+  let registry = Registry.create () in
+  List.iter
+    (fun (c, _, variants) -> List.iter (fun v -> Registry.register registry c.cname v) variants)
+    behaviors;
+  let top =
+    graph rng params ~name:"top"
+      ~n_inputs:(1 + Rng.int rng params.max_inputs)
+      ~n_outputs:(1 + Rng.int rng 2)
+      ~callees:(List.map (fun (c, _, _) -> c) behaviors)
+      ~allow_delay:true
+  in
+  { Text.registry; graphs = [ top ] }
+
+let top_graph (prog : Text.program) =
+  match prog.Text.graphs with
+  | [ g ] -> g
+  | gs -> invalid_arg (Printf.sprintf "Gen.top_graph: expected 1 graph, got %d" (List.length gs))
+
+let size (prog : Text.program) =
+  let count (g : Dfg.t) = Array.length g.Dfg.nodes in
+  List.fold_left (fun acc g -> acc + count g) 0 prog.Text.graphs
+  + List.fold_left
+      (fun acc b ->
+        List.fold_left (fun acc v -> acc + count v) acc (Registry.variants prog.Text.registry b))
+      0
+      (Registry.behaviors prog.Text.registry)
+
+let well_formed (prog : Text.program) =
+  let check_graph (g : Dfg.t) =
+    match Dfg.validate g with
+    | Error msg -> Error msg
+    | Ok () -> Registry.check_calls prog.Text.registry g
+  in
+  let rec first_error = function
+    | [] -> Ok ()
+    | g :: rest -> ( match check_graph g with Ok () -> first_error rest | e -> e)
+  in
+  let variant_graphs =
+    List.concat_map
+      (fun b -> Registry.variants prog.Text.registry b)
+      (Registry.behaviors prog.Text.registry)
+  in
+  first_error (variant_graphs @ prog.Text.graphs)

@@ -1,0 +1,50 @@
+(** Deterministic generator of random well-formed hierarchical DFG
+    programs.
+
+    Every program drawn from the same {!Hsyn_util.Rng} state is
+    identical, so a failing sample is reproducible from its seed
+    alone. Generated programs always satisfy {!Hsyn_dfg.Dfg.validate}
+    and {!Hsyn_dfg.Registry.check_calls} (the call DAG is
+    non-recursive by construction): the fuzzer probes the synthesis
+    pipeline, not the front-end's rejection paths.
+
+    Shape controls: behaviors/variants per behavior, operation count,
+    primary-input count, call-nesting depth, and the delay / constant /
+    call node mix. Delays (state) only appear in the top-level graph —
+    module behaviors are stateless by the pipeline's contract. *)
+
+module Rng = Hsyn_util.Rng
+module Text = Hsyn_dfg.Text
+module Dfg = Hsyn_dfg.Dfg
+
+type params = {
+  max_behaviors : int;  (** library behaviors, uniform in [0, max] *)
+  max_variants : int;  (** variants per behavior, uniform in [1, max] *)
+  max_ops : int;  (** drawn nodes per graph, uniform in [1, max] *)
+  max_inputs : int;  (** top-level primary inputs, uniform in [1, max] *)
+  max_call_depth : int;  (** max behavior-call nesting below the top *)
+  call_prob : float;  (** per-node probability of a behavior call *)
+  delay_prob : float;  (** per-node probability of a delay (top only) *)
+  const_prob : float;  (** per-node probability of a constant *)
+}
+
+val default_params : params
+(** Small programs (≤ ~9 nodes per graph, ≤ 3 behaviors) — sized so a
+    few hundred runs through every oracle stay fast. *)
+
+val program : ?params:params -> Rng.t -> Text.program
+(** Draw a program: a registry of behaviors (possibly empty) and one
+    top-level graph named ["top"] that may call them. *)
+
+val top_graph : Text.program -> Dfg.t
+(** The single top-level graph of a generated (or shrunk) program.
+    @raise Invalid_argument if the program does not have exactly one. *)
+
+val size : Text.program -> int
+(** Total node count across the top graph and all registered variants
+    — the measure the shrinker minimizes. *)
+
+val well_formed : Text.program -> (unit, string) result
+(** Re-check every graph with [Dfg.validate] and
+    [Registry.check_calls]. [Ok] for anything {!program} returns; used
+    by the shrinker to discard invalid surgeries and by tests. *)

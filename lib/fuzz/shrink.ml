@@ -1,0 +1,172 @@
+module Dfg = Hsyn_dfg.Dfg
+module Registry = Hsyn_dfg.Registry
+module Text = Hsyn_dfg.Text
+module B = Dfg.Builder
+
+(* ------------------------------------------------------------------ *)
+(* Graph surgery: drop one node, rewiring its consumers to the        *)
+(* dropped node's own inputs (consumer port k inherits input          *)
+(* min(k, arity-1)). Inputs and outputs are never dropped (they are   *)
+(* the behavior interface); consts and delays only when unused        *)
+(* (nothing to rewire to — a delay's feed may be a later node, which  *)
+(* the in-order rebuild below could not resolve).                     *)
+
+let has_consumers (g : Dfg.t) v =
+  Array.exists (fun (n : Dfg.node) -> Array.exists (fun (p : Dfg.port) -> p.Dfg.node = v) n.Dfg.ins) g.Dfg.nodes
+
+let droppable (g : Dfg.t) v =
+  let n = g.Dfg.nodes.(v) in
+  match n.Dfg.kind with
+  | Dfg.Input | Dfg.Output -> false
+  | Dfg.Const _ | Dfg.Delay _ -> not (has_consumers g v)
+  | Dfg.Op _ | Dfg.Call _ ->
+      Array.length n.Dfg.ins > 0
+      (* a self-feeding cycle through v cannot be rewired away *)
+      && not (Array.exists (fun (p : Dfg.port) -> p.Dfg.node = v) n.Dfg.ins)
+
+(* Rebuild [g] without node [v] through the Builder (Dfg.t is private;
+   the Builder re-validates for free). Returns [None] when the result
+   is malformed — e.g. removing the last op re-creates a combinational
+   cycle some delay was breaking. *)
+let remove_node (g : Dfg.t) v =
+  if not (droppable g v) then None
+  else
+    let victim = g.Dfg.nodes.(v) in
+    let replacement k =
+      let ins = victim.Dfg.ins in
+      ins.(min k (Array.length ins - 1))
+    in
+    let b = B.create g.Dfg.name in
+    let n = Array.length g.Dfg.nodes in
+    let ports : Dfg.port option array array =
+      Array.init n (fun i -> Array.make (max 1 g.Dfg.nodes.(i).Dfg.n_out) None)
+    in
+    (* resolve an original port to its rebuilt counterpart; one
+       substitution step when it points at the victim *)
+    let rec resolve (p : Dfg.port) =
+      if p.Dfg.node = v then resolve (replacement p.Dfg.out)
+      else match ports.(p.Dfg.node).(p.Dfg.out) with Some q -> q | None -> raise Exit
+    in
+    let feeds = ref [] in
+    match
+      Array.iteri
+        (fun i (node : Dfg.node) ->
+          if i <> v then
+            match node.Dfg.kind with
+            | Dfg.Input -> ports.(i).(0) <- Some (B.input b node.Dfg.label)
+            | Dfg.Const c -> ports.(i).(0) <- Some (B.const b ~label:node.Dfg.label c)
+            | Dfg.Op o ->
+                let args = Array.to_list (Array.map resolve node.Dfg.ins) in
+                ports.(i).(0) <- Some (B.op b ~label:node.Dfg.label o args)
+            | Dfg.Call behavior ->
+                let args = Array.to_list (Array.map resolve node.Dfg.ins) in
+                let outs = B.call b ~label:node.Dfg.label ~behavior ~n_out:node.Dfg.n_out args in
+                Array.iteri (fun k p -> ports.(i).(k) <- Some p) outs
+            | Dfg.Delay init ->
+                (* the feed may reference nodes not rebuilt yet: patch
+                   after the full pass, like the original construction *)
+                let p, feed = B.delay_feed b ~label:node.Dfg.label ~init () in
+                ports.(i).(0) <- Some p;
+                feeds := (node.Dfg.ins.(0), feed) :: !feeds
+            | Dfg.Output -> B.output b ~label:node.Dfg.label (resolve node.Dfg.ins.(0)))
+        g.Dfg.nodes;
+      List.iter (fun (src, feed) -> feed (resolve src)) !feeds;
+      B.finish b
+    with
+    | g' -> Some g'
+    | exception Exit -> None
+    | exception Invalid_argument _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Program-level candidates, biggest reduction first.                 *)
+
+type rep = { behaviors : (string * Dfg.t list) list; top : Dfg.t }
+
+let to_rep (prog : Text.program) =
+  let registry = prog.Text.registry in
+  {
+    behaviors = List.map (fun b -> (b, Registry.variants registry b)) (Registry.behaviors registry);
+    top = Gen.top_graph prog;
+  }
+
+let of_rep r =
+  let registry = Registry.create () in
+  List.iter (fun (b, vs) -> List.iter (fun v -> Registry.register registry b v) vs) r.behaviors;
+  { Text.registry; graphs = [ r.top ] }
+
+let callers_of r name =
+  let calls g = List.mem name (Dfg.called_behaviors g) in
+  calls r.top
+  || List.exists (fun (b, vs) -> b <> name && List.exists calls vs) r.behaviors
+
+let candidates r =
+  let drop_behaviors =
+    List.filter_map
+      (fun (b, _) ->
+        if callers_of r b then None
+        else Some { r with behaviors = List.filter (fun (b', _) -> b' <> b) r.behaviors })
+      r.behaviors
+  in
+  let drop_variants =
+    List.concat_map
+      (fun (b, vs) ->
+        if List.length vs < 2 then []
+        else
+          List.mapi
+            (fun i _ ->
+              let vs' = List.filteri (fun j _ -> j <> i) vs in
+              { r with behaviors = List.map (fun (b', vs0) -> (b', if b' = b then vs' else vs0)) r.behaviors })
+            vs)
+      r.behaviors
+  in
+  let node_drops_in g rebuild =
+    (* later nodes first: they sit closer to the outputs, so removing
+       them sheds the most downstream structure per accepted step *)
+    List.init (Array.length g.Dfg.nodes) (fun k -> Array.length g.Dfg.nodes - 1 - k)
+    |> List.filter_map (fun v -> Option.map rebuild (remove_node g v))
+  in
+  let top_drops = node_drops_in r.top (fun top -> { r with top }) in
+  let variant_drops =
+    List.concat_map
+      (fun (b, vs) ->
+        List.concat (List.mapi
+          (fun i g ->
+            node_drops_in g (fun g' ->
+                let vs' = List.mapi (fun j v -> if j = i then g' else v) vs in
+                { r with behaviors = List.map (fun (b', vs0) -> (b', if b' = b then vs' else vs0)) r.behaviors }))
+          vs))
+      r.behaviors
+  in
+  drop_behaviors @ drop_variants @ top_drops @ variant_drops
+
+(* ------------------------------------------------------------------ *)
+
+type stats = { size_before : int; size_after : int; checks_used : int; steps : int }
+
+let shrink ?(max_checks = 300) ~still_fails prog =
+  let size_before = Gen.size prog in
+  let checks = ref 0 and steps = ref 0 in
+  let accepts p =
+    if !checks >= max_checks then false
+    else begin
+      incr checks;
+      Gen.well_formed p = Ok () && still_fails p
+    end
+  in
+  let rec fixpoint r =
+    if !checks >= max_checks then r
+    else
+      match
+        List.find_map
+          (fun cand ->
+            let p = of_rep cand in
+            if accepts p then Some cand else None)
+          (candidates r)
+      with
+      | Some smaller ->
+          incr steps;
+          fixpoint smaller
+      | None -> r
+  in
+  let shrunk = of_rep (fixpoint (to_rep prog)) in
+  (shrunk, { size_before; size_after = Gen.size shrunk; checks_used = !checks; steps = !steps })

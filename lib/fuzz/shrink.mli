@@ -1,0 +1,36 @@
+(** Greedy structural minimization of failing programs.
+
+    Starting from a sample that makes an oracle fail, repeatedly try
+    the candidate reductions — drop an uncalled behavior, drop a
+    surplus variant, remove one node (consumers rewired to the removed
+    node's own inputs) — and keep the first reduction that is still
+    well-formed {e and} still fails, until a fixpoint or the check
+    budget runs out. The result is a small, human-readable [.hsyn]
+    repro of the same divergence. *)
+
+module Dfg = Hsyn_dfg.Dfg
+module Text = Hsyn_dfg.Text
+
+val remove_node : Dfg.t -> int -> Dfg.t option
+(** [remove_node g v] rebuilds [g] without node [v], rewiring each
+    consumer of output [k] to [v]'s input [min k (arity-1)]. [None]
+    when [v] is not removable (interface node, used const/delay,
+    self-feeding, or the result fails validation). Exposed for
+    tests. *)
+
+type stats = {
+  size_before : int;  (** {!Gen.size} of the original sample *)
+  size_after : int;
+  checks_used : int;  (** oracle re-runs spent *)
+  steps : int;  (** accepted reductions *)
+}
+
+val shrink :
+  ?max_checks:int ->
+  still_fails:(Text.program -> bool) ->
+  Text.program ->
+  Text.program * stats
+(** [still_fails] must re-run the failing oracle from an identical RNG
+    state each time (use {!Hsyn_util.Rng.copy}) so acceptance is about
+    the program, not RNG drift. [max_checks] (default 300) bounds the
+    total number of [still_fails] invocations. *)

@@ -24,7 +24,10 @@ let rec worker t =
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.mutex;
-    task ();
+    (* tasks are exception-barriered closures (see [map_array]); a
+       stray raise must still never kill the worker domain, or the
+       batch it belongs to would wait forever *)
+    (try task () with _ -> ());
     worker t
   end
 
@@ -95,12 +98,19 @@ let map_array ?(cancel = fun () -> false) t f arr =
       (* checking [cancel] here, inside the task, means a fired cancel
          turns every not-yet-started element into an immediate no-op:
          the queue drains fast, [pending] reaches 0, and all domains
-         return to the idle loop — nothing is left stuck *)
+         return to the idle loop — nothing is left stuck.
+
+         The whole element — the cancel poll included — runs under the
+         exception barrier: whatever raises, the task still records an
+         outcome and decrements [pending], so a worker can never die
+         without producing a result and the caller always gets the
+         original exception (with its backtrace) re-raised. *)
       let r =
-        if cancel () then Error None
-        else
-          try Ok (f arr.(i))
-          with e -> Error (Some (e, Printexc.get_raw_backtrace ()))
+        match cancel () with
+        | true -> Error None
+        | false -> (
+            try Ok (f arr.(i)) with e -> Error (Some (e, Printexc.get_raw_backtrace ())))
+        | exception e -> Error (Some (e, Printexc.get_raw_backtrace ()))
       in
       Mutex.lock t.mutex;
       (match r with
@@ -132,5 +142,13 @@ let map_array ?(cancel = fun () -> false) t f arr =
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     if !skipped then raise Cancelled;
-    Array.map (function Some v -> v | None -> assert false) results
+    Array.map
+      (function
+        | Some v -> v
+        | None ->
+            (* every task either stored its result, recorded an error
+               (re-raised above) or marked the batch cancelled; a hole
+               here means a worker died outside the barrier *)
+            failwith "Pool.map_array: a worker produced no result")
+      results
   end

@@ -37,15 +37,17 @@ val map_array : ?cancel:(unit -> bool) -> t -> ('a -> 'b) -> 'a array -> 'b arra
 (** Parallel [Array.map]. Deterministic: the result at index [i] is
     [f arr.(i)] regardless of the pool size or task interleaving. If
     any task raises, the first exception observed is re-raised in the
-    caller after all tasks finish. Must not be called re-entrantly
-    from inside a task.
+    caller (with the original backtrace) after all tasks finish — a
+    raise on a worker domain never kills the worker or loses the
+    exception. Must not be called re-entrantly from inside a task.
 
     [cancel] is polled (possibly from worker domains — it must be
     domain-safe) before each element is evaluated. Once it returns
     true, remaining elements are skipped, every in-flight task is
     still joined — no domain is ever left stuck or detached — and the
-    call raises {!Cancelled}. A genuine task exception takes
-    precedence over {!Cancelled}. *)
+    call raises {!Cancelled}. An exception raised by [cancel] itself
+    is captured and re-raised like a task exception. A genuine task
+    exception takes precedence over {!Cancelled}. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. The pool must be idle. *)

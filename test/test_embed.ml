@@ -171,6 +171,87 @@ let test_merge_incompatible_adds_component () =
       let insts = (snd (List.hd m.Design.parts)).Design.insts in
       checki "disjoint components" 2 (Array.length insts)
 
+let rtl3 () =
+  (* third behavior for the double merge: |a − b| via alu ops *)
+  let b = B.create "dfg_abs" in
+  let a = B.input b "a" and x = B.input b "b" in
+  let d = B.op b ~label:"S2" Op.Sub [ a; x ] in
+  B.output b (B.op b ~label:"AB1" Op.Abs [ d ]);
+  let g = B.finish b in
+  { Design.rm_name = "RTL3"; parts = [ ("absdiff", Tu.initial ctx g) ] }
+
+(* Merging an already-merged (multi-part) module: the second merge must
+   read the shared resource set of *all* left parts, keep every
+   behavior working, and preserve the shared-resources invariant. *)
+let test_merge_multi_behavior () =
+  let m1, _ = merge () in
+  (match m1.Design.parts with
+  | [ _; _ ] -> ()
+  | _ -> Alcotest.fail "expected a two-part module");
+  match Embed.merge_modules ctx ~name:"TripleRTL" m1 (rtl3 ()) with
+  | None -> Alcotest.fail "second merge refused"
+  | Some (m2, corr) ->
+      Alcotest.(check (list string))
+        "three behaviors" [ "dotprod"; "prodmix"; "absdiff" ]
+        (Design.module_behaviors m2);
+      (match m2.Design.parts with
+      | (_, p0) :: rest ->
+          List.iter
+            (fun (_, p) ->
+              checkb "insts shared" true (p.Design.insts = p0.Design.insts);
+              checki "regs shared" p0.Design.n_regs p.Design.n_regs)
+            rest
+      | [] -> Alcotest.fail "no parts");
+      List.iter
+        (fun (_, p) -> checkb "part validates" true (Design.validate ctx p = Ok ()))
+        m2.Design.parts;
+      let n = Array.length (snd (List.hd m2.Design.parts)).Design.insts in
+      Array.iter
+        (fun i -> checkb "right map in range" true (i >= 0 && i < n))
+        corr.Embed.right_inst;
+      (* rendering the triple module exercises the multi-part printer *)
+      let s = Format.asprintf "%a" Embed.pp_correspondence (m1, rtl3 (), m2, corr) in
+      checkb "prints" true (String.length s > 50)
+
+let expect_invalid f =
+  match f () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      checkb "diagnosable message" true (String.length msg > 10)
+
+(* Malformed modules (violating the shared-resource-set invariant) must
+   produce a descriptive error, not a crash. *)
+let test_merge_rejects_malformed_module () =
+  let good = rtl1 () in
+  (* no parts at all *)
+  let empty = { Design.rm_name = "EMPTY"; parts = [] } in
+  expect_invalid (fun () -> Embed.merge_modules ctx ~name:"X" empty good);
+  expect_invalid (fun () -> Embed.merge_modules ctx ~name:"X" good empty);
+  (* parts that disagree on the instance set *)
+  let m1, corr = merge () in
+  let disagreeing =
+    match m1.Design.parts with
+    | (b1, p1) :: (b2, p2) :: _ ->
+        let insts2 = Array.sub p2.Design.insts 0 (Array.length p2.Design.insts - 1) in
+        (* truncated copy: structurally different array *)
+        {
+          m1 with
+          Design.parts = [ (b1, p1); (b2, { p2 with Design.insts = insts2 }) ];
+        }
+    | _ -> Alcotest.fail "expected two parts"
+  in
+  expect_invalid (fun () -> Embed.merge_modules ctx ~name:"X" disagreeing (rtl3 ()));
+  expect_invalid (fun () ->
+      Format.asprintf "%a" Embed.pp_correspondence (m1, rtl3 (), disagreeing, corr));
+  (* parts that disagree on the register count *)
+  let reg_mismatch =
+    match m1.Design.parts with
+    | (b1, p1) :: (b2, p2) :: _ ->
+        { m1 with Design.parts = [ (b1, p1); (b2, { p2 with Design.n_regs = p2.Design.n_regs + 1 }) ] }
+    | _ -> Alcotest.fail "expected two parts"
+  in
+  expect_invalid (fun () -> Embed.merge_modules ctx ~name:"X" reg_mismatch (rtl3 ()))
+
 let test_pp_correspondence_smoke () =
   let left = rtl1 () and right = rtl2 () in
   let m, corr = merge () in
@@ -192,6 +273,8 @@ let () =
           tc "correspondence golden" test_merge_correspondence_golden;
           tc "upgrades unit type" test_merge_upgrade_unit_type;
           tc "incompatible adds component" test_merge_incompatible_adds_component;
+          tc "multi-behavior double merge" test_merge_multi_behavior;
+          tc "rejects malformed modules" test_merge_rejects_malformed_module;
           tc "pp smoke" test_pp_correspondence_smoke;
         ] );
     ]

@@ -68,6 +68,40 @@ let test_pool_exception_propagates () =
       | exception Boom 5 -> ())
     [ 1; 4 ]
 
+(* A task that dies must surface its own exception on the caller
+   domain — never [assert false], never a lost worker. The pool must
+   also stay usable for the next batch (all workers alive, queue
+   empty). *)
+let test_pool_worker_death_reraises () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.shared jobs in
+      (match Pool.map_array pool (fun x -> if x >= 0 then raise (Boom x) else x) (Array.init 16 Fun.id) with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Boom _ -> ());
+      (* the pool survives a fully-poisoned batch *)
+      let out = Pool.map_array pool (fun x -> x + 1) (Array.init 16 Fun.id) in
+      Alcotest.check (Alcotest.array Alcotest.int) "pool still works" (Array.init 16 succ) out)
+    [ 2; 4 ]
+
+(* An exception escaping the [cancel] poll itself is captured like a
+   task exception: re-raised on the caller, no deadlocked batch. *)
+let test_pool_raising_cancel_captured () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.shared jobs in
+      match
+        Pool.map_array
+          ~cancel:(fun () -> raise (Boom (-1)))
+          pool
+          (fun x -> x * 2)
+          (Array.init 8 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Boom (-1) -> ()
+      | exception Pool.Cancelled -> Alcotest.fail "cancel exception must win over Cancelled")
+    [ 1; 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Stats order statistics *)
 
@@ -310,6 +344,8 @@ let () =
         [
           tc "map_array" test_pool_map_array;
           tc "exception propagates" test_pool_exception_propagates;
+          tc "worker death re-raises" test_pool_worker_death_reraises;
+          tc "raising cancel captured" test_pool_raising_cancel_captured;
         ] );
       ("stats", [ tc "median/percentile" test_stats_median_percentile ]);
       ( "fingerprint",

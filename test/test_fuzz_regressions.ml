@@ -1,0 +1,119 @@
+(* Regression corpus: minimal programs produced by `hsyn fuzz`'s
+   shrinker while flushing out the bugs fixed alongside the fuzzing
+   subsystem. Each fixture is kept verbatim (comments included, as
+   written to the corpus directory) and re-checked through the oracle
+   that originally flagged it, so the fixed paths stay fixed.
+
+   - CRLF tokenization: Text.tokenize_line used to glue the trailing
+     '\r' of CRLF files onto the last token of every line.
+   - Checkpoint/resume on degenerate programs: a sweep whose context
+     plan is empty writes no checkpoint; resume must treat the absent
+     file as a cold start and converge with the uninterrupted run
+     (shrunk repro checkpoint-resume-seed0-run6: pure wiring, no ops).
+   - Embedding modules built from trivial single-op behaviors: the
+     merge validation must accept minimal well-formed modules and
+     preserve their function (Pool.map_array's exception discipline is
+     likewise exercised by the jobs oracle on the same fixture). *)
+
+module Rng = Hsyn_util.Rng
+module Dfg = Hsyn_dfg.Dfg
+module Text = Hsyn_dfg.Text
+module Oracle = Hsyn_fuzz.Oracle
+module Gen = Hsyn_fuzz.Gen
+
+let checkb = Alcotest.check Alcotest.bool
+
+let oracle name =
+  match Oracle.find name with
+  | Some o -> o
+  | None -> Alcotest.failf "oracle %s not registered" name
+
+let run_oracle name ?(seed = 0) prog =
+  match (oracle name).Oracle.check (Rng.create seed) prog with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "oracle %s rejects the fixture: %s" name msg
+
+(* fuzz-corpus/checkpoint-resume-seed0-run6.hsyn, as shrunk: a
+   pure-wiring top with an unused input. Its (V_dd, clock) plan can be
+   empty at tight sampling, which is the path that used to diverge. *)
+let wiring_repro =
+  "# hsyn fuzz repro\n# oracle: checkpoint-resume\n# seed 0, run 6\ndfg top\n  input i0\n\
+  \  input i1\n  output out2 i0\nend\n"
+
+(* single-op hierarchical program: one behavior, one call — the
+   smallest shape that exercises embedding and module construction *)
+let single_call_repro =
+  "behavior f0 variant f0_v0\n  input i0\n  op a1 abs i0\n  output o1 a1\nend\n\n\
+   dfg top\n  input i0\n  call c1 f0 1 i0\n  output o1 c1.0\nend\n"
+
+(* recurrence: a delay in a cycle with an op — the shape that keeps
+   the two scheduler kernels honest about delay semantics *)
+let recurrence_repro =
+  "dfg top\n  input i0\n  delay z1 a1 init 7\n  op a1 add i0 z1\n  output o1 a1\nend\n"
+
+let parse what text =
+  match Text.parse_string text with
+  | p -> p
+  | exception Text.Parse_error (line, msg) ->
+      Alcotest.failf "%s: fixture no longer parses (line %d: %s)" what line msg
+
+let test_fixtures_parse () =
+  List.iter
+    (fun (what, text) ->
+      let prog = parse what text in
+      checkb (what ^ " well-formed") true (Gen.well_formed prog = Ok ()))
+    [
+      ("wiring", wiring_repro); ("single-call", single_call_repro); ("recurrence", recurrence_repro);
+    ]
+
+let test_crlf_corpus_file () =
+  (* corpus files must load identically when checked out with CRLF *)
+  let crlf = String.concat "\r\n" (String.split_on_char '\n' single_call_repro) in
+  let a = parse "lf" single_call_repro and b = parse "crlf" crlf in
+  checkb "CRLF parse matches LF parse" true
+    (Dfg.equal (Gen.top_graph a) (Gen.top_graph b))
+
+let test_wiring_checkpoint_resume () = run_oracle "checkpoint-resume" (parse "wiring" wiring_repro)
+let test_wiring_roundtrip () = run_oracle "roundtrip" (parse "wiring" wiring_repro)
+
+let test_single_call_embed () = run_oracle "embed" (parse "single-call" single_call_repro)
+let test_single_call_jobs () = run_oracle "jobs" (parse "single-call" single_call_repro)
+
+let test_recurrence_sched_diff () = run_oracle "sched-diff" (parse "recurrence" recurrence_repro)
+let test_recurrence_engine () = run_oracle "engine-direct" (parse "recurrence" recurrence_repro)
+
+(* every oracle accepts every fixture: the corpus stays usable as a
+   seed set for future campaigns *)
+let test_full_matrix () =
+  List.iter
+    (fun (what, text) ->
+      let prog = parse what text in
+      List.iter
+        (fun (o : Oracle.t) ->
+          match o.Oracle.check (Rng.create 1) prog with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s on %s: %s" o.Oracle.name what msg)
+        Oracle.all)
+    [
+      ("wiring", wiring_repro); ("single-call", single_call_repro); ("recurrence", recurrence_repro);
+    ]
+
+let () =
+  Alcotest.run "fuzz-regressions"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "parse and validate" `Quick test_fixtures_parse;
+          Alcotest.test_case "crlf corpus file" `Quick test_crlf_corpus_file;
+        ] );
+      ( "repros",
+        [
+          Alcotest.test_case "wiring: checkpoint-resume" `Quick test_wiring_checkpoint_resume;
+          Alcotest.test_case "wiring: roundtrip" `Quick test_wiring_roundtrip;
+          Alcotest.test_case "single-call: embed" `Quick test_single_call_embed;
+          Alcotest.test_case "single-call: jobs" `Quick test_single_call_jobs;
+          Alcotest.test_case "recurrence: sched-diff" `Quick test_recurrence_sched_diff;
+          Alcotest.test_case "recurrence: engine-direct" `Quick test_recurrence_engine;
+          Alcotest.test_case "full matrix" `Quick test_full_matrix;
+        ] );
+    ]

@@ -88,6 +88,24 @@ let test_error_line_numbers () =
   | exception Text.Parse_error (line, _) -> checki "line" 3 line
   | _ -> Alcotest.fail "expected Parse_error"
 
+let test_crlf () =
+  (* a Windows-edited file: every line terminated with \r\n. Each line's
+     trailing \r used to survive tokenization and turn the whole file
+     into parse errors. *)
+  let crlf = String.concat "\r\n" (String.split_on_char '\n' example) in
+  let prog = Text.parse_string example in
+  let prog_crlf = Text.parse_string crlf in
+  checki "one graph" 1 (List.length prog_crlf.Text.graphs);
+  checkb "graph identical to LF parse" true
+    (Dfg.equal (List.hd prog.Text.graphs) (List.hd prog_crlf.Text.graphs));
+  checkb "behavior identical to LF parse" true
+    (Dfg.equal
+       (Registry.default_variant prog.Text.registry "madd")
+       (Registry.default_variant prog_crlf.Text.registry "madd"));
+  (* stray \r elsewhere in a line is whitespace, not part of a token *)
+  let prog_mid = Text.parse_string "dfg g\r\n  input\rx\r\n  output y x\r\nend\r\n" in
+  checki "mid-line CR" 1 (List.length prog_mid.Text.graphs)
+
 let test_comments_and_blanks () =
   let src = "# leading comment\n\ndfg g # trailing\n  input x\n  output y x\nend\n" in
   let prog = Text.parse_string src in
@@ -198,6 +216,7 @@ let () =
           tc "errors" test_errors;
           tc "error line numbers" test_error_line_numbers;
           tc "comments and blanks" test_comments_and_blanks;
+          tc "crlf line endings" test_crlf;
           tc "call multi-output" test_call_multi_output;
           tc "from file" test_parse_file;
         ] );
