@@ -27,6 +27,7 @@ module Embed = Hsyn_embed.Embed
 module Cost = Hsyn_core.Cost
 module Clib = Hsyn_core.Clib
 module Engine = Hsyn_core.Engine
+module Session = Hsyn_core.Session
 module Initial = Hsyn_core.Initial
 module Moves = Hsyn_core.Moves
 module Pass = Hsyn_core.Pass
@@ -512,15 +513,31 @@ let engine_section () =
       let case = Printf.sprintf "%s/%s/%.1f" b.Suite.name (Cost.objective_name objective) lf in
       Printf.printf "  running %s (direct vs engine, %d repeat%s) ...\n%!" case repeats
         (if repeats = 1 then "" else "s");
-      let timed p =
+      (* each repeat runs on its own fresh session (matching the old
+         reset-globals-per-case semantics); the tracked sessions give
+         the engine-side counters for the table *)
+      let tracked = ref [] in
+      let timed ~track p =
         List.init repeats (fun _ ->
-            let r = S.run ~config:(with_policy p) ~lib b.Suite.registry b.Suite.dfg objective ~sampling_ns in
-            (r, r.S.elapsed_s))
+            let session = Session.create () in
+            if track then tracked := session :: !tracked;
+            let req =
+              match
+                S.Request.make ~config:(with_policy p) ~session ~lib ~registry:b.Suite.registry
+                  ~dfg:b.Suite.dfg ~objective ~sampling_ns ()
+              with
+              | Ok req -> req
+              | Error msg -> failwith msg
+            in
+            match S.synthesize req with
+            | Ok r -> (r, r.S.elapsed_s)
+            | Error msg -> failwith msg)
       in
-      let base_runs = timed baseline in
-      Engine.reset_global_counters ();
-      let eng_runs = timed policy in
-      let c = Engine.global_counters () in
+      let base_runs = timed ~track:false baseline in
+      let eng_runs = timed ~track:true policy in
+      let c =
+        List.fold_left (fun acc s -> Engine.add acc (Session.totals s)) Engine.zero !tracked
+      in
       (* medians are robust to the occasional GC/scheduling outlier;
          p90 shows the spread when repeats > 1 *)
       let med runs = Stats.median (List.map snd runs) in
@@ -581,6 +598,102 @@ let engine_section () =
     "Reading: \"identical\" confirms the engine is result-preserving — memoization,\n\
      staged power evaluation and the worker pool change how candidates are costed,\n\
      never which candidate wins.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Session memoization: the same synthesis twice — cold on a fresh
+   session, then again on the now-warm session. The second run must be
+   bit-identical (a cache hit only changes which computation ran, never
+   the value observed) and should hit the shared cost cache. CI greps
+   BENCH_session.json for "ok":true. *)
+
+let session_section () =
+  header "session" "Session-scoped memoization (cold vs shared-warm)";
+  let cases =
+    [ (Suite.test1 (), Cost.Power, 2.2); (Suite.iir (), Cost.Power, 2.2) ]
+  in
+  let t =
+    Table.create
+      ~header:[ "case"; "cold (s)"; "warm (s)"; "speedup"; "warm hit rate"; "identical" ]
+  in
+  let case_objs = ref [] in
+  let all_ok = ref true in
+  List.iter
+    (fun ((b : Suite.t), objective, lf) ->
+      let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
+      let sampling_ns = lf *. min_ns in
+      let case = Printf.sprintf "%s/%s/%.1f" b.Suite.name (Cost.objective_name objective) lf in
+      Printf.printf "  running %s (cold, then warm on the same session) ...\n%!" case;
+      let session = Session.create () in
+      let run () =
+        let req =
+          match
+            S.Request.make ~config ~session ~lib ~registry:b.Suite.registry ~dfg:b.Suite.dfg
+              ~objective ~sampling_ns ()
+          with
+          | Ok req -> req
+          | Error msg -> failwith msg
+        in
+        match S.synthesize req with Ok r -> r | Error msg -> failwith msg
+      in
+      let cold = run () in
+      let warmed = (Session.stats session).Session.cost_tbl in
+      let warm = run () in
+      let rerun = (Session.stats session).Session.cost_tbl in
+      let hits = rerun.Hsyn_util.Shard_tbl.hits - warmed.Hsyn_util.Shard_tbl.hits in
+      let probes =
+        hits + rerun.Hsyn_util.Shard_tbl.misses - warmed.Hsyn_util.Shard_tbl.misses
+      in
+      let hit_rate = if probes = 0 then 0. else Float.of_int hits /. Float.of_int probes in
+      let identical =
+        cold.S.eval.Cost.area = warm.S.eval.Cost.area
+        && cold.S.eval.Cost.power = warm.S.eval.Cost.power
+        && Design.fingerprint cold.S.design = Design.fingerprint warm.S.design
+      in
+      let speedup = cold.S.elapsed_s /. Float.max 1e-9 warm.S.elapsed_s in
+      all_ok := !all_ok && identical && hits > 0;
+      Table.add_row t
+        [
+          case;
+          Printf.sprintf "%.2f" cold.S.elapsed_s;
+          Printf.sprintf "%.2f" warm.S.elapsed_s;
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%d/%d (%.0f%%)" hits probes (100. *. hit_rate);
+          (if identical then "yes" else "NO");
+        ];
+      case_objs :=
+        Json.Obj
+          [
+            ("case", Json.String case);
+            ("cold_s", Json.Float cold.S.elapsed_s);
+            ("warm_s", Json.Float warm.S.elapsed_s);
+            ("speedup", Json.Float speedup);
+            ("warm_hits", Json.Int hits);
+            ("warm_probes", Json.Int probes);
+            ("warm_hit_rate", Json.Float hit_rate);
+            ("identical", Json.Bool identical);
+          ]
+        :: !case_objs)
+    cases;
+  Table.print t;
+  let json =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ("ok", Json.Bool !all_ok);
+        ("cases", Json.List (List.rev !case_objs));
+      ]
+  in
+  let line = Json.to_string json in
+  Printf.printf "session-json: %s\n" line;
+  let oc = open_out "BENCH_session.json" in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  (written to BENCH_session.json)\n";
+  Printf.printf
+    "Reading: the warm run replays the same sweep against the already-populated session,\n\
+     so its cost-cache hit rate is the upper bound sharing can deliver; \"identical\"\n\
+     confirms sharing never changes the synthesized design.\n"
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler-kernel microbenchmark: event-driven vs legacy time-stepped
@@ -891,6 +1004,7 @@ let () =
   if section "headline" then headline ();
   if section "ablation" then ablation ();
   if section "engine" then engine_section ();
+  if section "session" then session_section ();
   if section "sched" then sched_section ();
   if section "obs" then obs_section ();
   if (not no_micro) && section "micro" then micro ();

@@ -21,6 +21,7 @@ module Fsm = Hsyn_eval.Fsm
 module Cost = Hsyn_core.Cost
 module Clib = Hsyn_core.Clib
 module Engine = Hsyn_core.Engine
+module Session = Hsyn_core.Session
 module Budget = Hsyn_core.Budget
 module Events = Hsyn_core.Events
 module S = Hsyn_core.Synthesize
@@ -31,17 +32,32 @@ module Trace = Hsyn_obs.Trace
 module Report = Hsyn_obs.Report
 open Cmdliner
 
+(* [-b] accepts a comma-separated list of benchmarks; they are
+   synthesized in order (sharing one memoization session with
+   [--share-session]). *)
 let load_input bench file dfg_name =
   match bench, file with
-  | Some name, None -> (
-      match Suite.by_name name with
-      | Some b -> Ok (b.Suite.registry, b.Suite.dfg)
-      | None -> Error (Printf.sprintf "unknown benchmark %S (try 'hsyn list')" name))
+  | Some names, None -> (
+      let names =
+        String.split_on_char ',' names |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      let missing = List.filter (fun n -> Suite.by_name n = None) names in
+      match missing with
+      | name :: _ -> Error (Printf.sprintf "unknown benchmark %S (try 'hsyn list')" name)
+      | [] -> (
+          match
+            List.filter_map
+              (fun n -> Option.map (fun b -> (b.Suite.registry, b.Suite.dfg)) (Suite.by_name n))
+              names
+          with
+          | [] -> Error "empty benchmark list"
+          | inputs -> Ok inputs))
   | None, Some path -> (
       match Text.parse_file path with
       | program -> (
           match Text.select_graph ?name:dfg_name program with
-          | Ok g -> Ok (program.Text.registry, g)
+          | Ok g -> Ok [ (program.Text.registry, g) ]
           | Error msg ->
               if dfg_name = None then Error (Printf.sprintf "%s: %s (use --dfg)" path msg)
               else Error (Printf.sprintf "%s: %s" path msg))
@@ -93,17 +109,10 @@ let write_json_file path v =
       output_string oc (Json.to_string v);
       output_char oc '\n')
 
-let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
+let synth_one ~session ~registry ~dfg objective lf sampling mode seed jobs budget_s max_contexts
     progress events_json trace_out metrics_out checkpoint resume json show_stats profile
     show_rtl show_fsm show_sched show_verilog =
-  match load_input bench file dfg_name with
-  | Error msg ->
-      prerr_endline ("hsyn: " ^ msg);
-      1
-  | Ok (registry, dfg) -> (
-      if profile then Trace.set_profile true;
-      if trace_out <> None then Trace.set_enabled true;
-      if metrics_out <> None || trace_out <> None then Metrics.set_enabled true;
+  (
       let lib = Library.default in
       let objective =
         match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
@@ -127,7 +136,7 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s m
         Result.bind (Budget.make ?deadline_s:budget_s ?max_contexts ()) (fun budget ->
             S.Request.make ~config ~budget
               ~flatten:(mode = "flat")
-              ~lib ~registry ~dfg ~objective ~sampling_ns ())
+              ~session ~lib ~registry ~dfg ~objective ~sampling_ns ())
       in
       match request with
       | Error msg ->
@@ -192,11 +201,12 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s m
                 Printf.printf "\nevaluation engine (jobs %d, cache %d, staging %s):\n"
                   policy.Engine.jobs policy.Engine.cache_capacity
                   (if policy.Engine.staged then "on" else "off");
-                Format.printf "  total        %a@." Engine.pp_counters (Engine.global_counters ());
+                Format.printf "  total        %a@." Engine.pp_counters (Session.totals session);
                 List.iter
                   (fun (fam, c) -> Format.printf "  %-12s %a@." fam Engine.pp_counters c)
-                  (Engine.global_family_counters ());
-                Format.printf "%a@." Sched.pp_stats (Sched.stats ())
+                  (Session.family_totals session);
+                Format.printf "%a@." Sched.pp_stats (Sched.stats ());
+                Format.printf "%a@." Session.pp_stats (Session.stats session)
               end;
               if profile then begin
                 let module St = Hsyn_util.Stats in
@@ -216,14 +226,46 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s m
               end;
               if show_rtl then Format.printf "@.%a@." Design.pp r.S.design;
               let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
-              let sch = Sched.schedule r.S.ctx cs r.S.design in
+              let sch = Sched.schedule ~cache:(Session.sched_cache session) r.S.ctx cs r.S.design in
               if show_sched then Format.printf "@.%a@." Sched.pp_schedule (r.S.design, sch);
               if show_fsm then Format.printf "@.%a@." Fsm.pp (Fsm.generate r.S.design sch);
               if show_verilog then print_string (Hsyn_eval.Netlist.emit r.S.ctx r.S.design sch);
               0))
 
+let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
+    share_session progress events_json trace_out metrics_out checkpoint resume json show_stats
+    profile show_rtl show_fsm show_sched show_verilog =
+  match load_input bench file dfg_name with
+  | Error msg ->
+      prerr_endline ("hsyn: " ^ msg);
+      1
+  | Ok inputs ->
+      if profile then Trace.set_profile true;
+      if trace_out <> None then Trace.set_enabled true;
+      if metrics_out <> None || trace_out <> None then Metrics.set_enabled true;
+      (* one session reused across every design with --share-session;
+         otherwise each design gets its own (results are identical
+         either way — sharing only skips repeated work) *)
+      let shared = if share_session then Some (Session.create ()) else None in
+      List.fold_left
+        (fun acc (registry, dfg) ->
+          let session = match shared with Some s -> s | None -> Session.create () in
+          let code =
+            synth_one ~session ~registry ~dfg objective lf sampling mode seed jobs budget_s
+              max_contexts progress events_json trace_out metrics_out checkpoint resume json
+              show_stats profile show_rtl show_fsm show_sched show_verilog
+          in
+          max acc code)
+        0 inputs
+
 let bench_arg =
-  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Built-in benchmark to synthesize.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
+        ~doc:
+          "Built-in benchmark(s) to synthesize; a comma-separated list runs each in turn (see \
+           $(b,--share-session)).")
 
 let file_arg =
   Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Textual DFG file to synthesize.")
@@ -269,6 +311,15 @@ let max_contexts_arg =
     & opt (some int) None
     & info [ "max-contexts" ] ~docv:"N"
         ~doc:"Stop after N (V_dd, clock) contexts of the sweep.")
+
+let share_session_flag =
+  Arg.(
+    value & flag
+    & info [ "share-session" ]
+        ~doc:
+          "Share one memoization session (scheduler and cost caches) across all designs of a \
+           comma-separated $(b,-b) list. Results are bit-identical with or without sharing; \
+           sharing only skips repeated work. $(b,--stats) then reports cumulative totals.")
 
 let progress_flag =
   Arg.(
@@ -347,9 +398,9 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
-      $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ progress_flag
-      $ events_json_arg $ trace_arg $ metrics_arg $ checkpoint_arg $ resume_flag $ json_flag
-      $ stats_flag $ profile_flag $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
+      $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ share_session_flag
+      $ progress_flag $ events_json_arg $ trace_arg $ metrics_arg $ checkpoint_arg $ resume_flag
+      $ json_flag $ stats_flag $ profile_flag $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
 
 (* ------------------------------------------------------------------ *)
 (* report *)
@@ -481,17 +532,22 @@ let do_dump bench file dfg_name dot =
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
       1
-  | Ok (registry, dfg) ->
-      if dot then print_string (Text.to_dot dfg)
-      else begin
-        let buf = Buffer.create 1024 in
-        List.iter
-          (fun bname ->
-            List.iter (fun v -> Text.print_dfg buf ~behavior:bname v) (Registry.variants registry bname))
-          (Registry.behaviors registry);
-        Text.print_dfg buf dfg;
-        print_string (Buffer.contents buf)
-      end;
+  | Ok inputs ->
+      List.iter
+        (fun (registry, dfg) ->
+          if dot then print_string (Text.to_dot dfg)
+          else begin
+            let buf = Buffer.create 1024 in
+            List.iter
+              (fun bname ->
+                List.iter
+                  (fun v -> Text.print_dfg buf ~behavior:bname v)
+                  (Registry.variants registry bname))
+              (Registry.behaviors registry);
+            Text.print_dfg buf dfg;
+            print_string (Buffer.contents buf)
+          end)
+        inputs;
       0
 
 let dot_flag = Arg.(value & flag & info [ "dot" ] ~doc:"Graphviz output instead of the textual format.")

@@ -45,11 +45,13 @@ let reachable registry top =
   visit top;
   List.rev !order
 
-let synthesize_variant ?token ctx registry clib ~rng ~trace_length ~effort behavior (variant : Dfg.t) =
+let synthesize_variant ?session ?token ctx registry clib ~rng ~trace_length ~effort behavior
+    (variant : Dfg.t) =
+  let sched_cache = Option.map Session.sched_cache session in
   let complexes = lookup clib in
-  let initial = Initial.build ctx ~complexes registry variant in
+  let initial = Initial.build ?sched_cache ctx ~complexes registry variant in
   let relaxed = Sched.relaxed ~deadline:1_000_000 variant in
-  let sch0 = Sched.schedule ctx relaxed initial in
+  let sch0 = Sched.schedule ?cache:sched_cache ctx relaxed initial in
   let fast_span = max 1 sch0.Sched.makespan in
   let trace =
     effort.trace
@@ -60,7 +62,8 @@ let synthesize_variant ?token ctx registry clib ~rng ~trace_length ~effort behav
     let sampling_ns = Float.of_int deadline *. ctx.Design.clk_ns in
     let cs = { relaxed with Sched.deadline } in
     let engine =
-      Engine.create ~policy:effort.engine ?token ~ctx ~cs ~sampling_ns ~trace ~objective ()
+      Engine.create ~policy:effort.engine ?session ?token ~ctx ~cs ~sampling_ns ~trace
+        ~objective ()
     in
     let env =
       {
@@ -94,13 +97,15 @@ let synthesize_variant ?token ctx registry clib ~rng ~trace_length ~effort behav
   in
   [ fast; area_opt; power_opt ]
 
-let build ?token ctx registry ~rng ~trace_length ~effort ~top =
+let build ?session ?token ctx registry ~rng ~trace_length ~effort ~top =
   let clib : t = Hashtbl.create 16 in
   List.iter
     (fun behavior ->
       let modules =
         List.concat_map
-          (fun variant -> synthesize_variant ?token ctx registry clib ~rng ~trace_length ~effort behavior variant)
+          (fun variant ->
+            synthesize_variant ?session ?token ctx registry clib ~rng ~trace_length ~effort
+              behavior variant)
           (Registry.variants registry behavior)
       in
       Hashtbl.replace clib behavior modules)

@@ -27,6 +27,7 @@ type effort = {
 val default_effort : effort
 
 val build :
+  ?session:Session.t ->
   ?token:Budget.token ->
   Design.ctx ->
   Registry.t ->
@@ -37,7 +38,9 @@ val build :
   t
 (** Synthesize library modules for every behavior reachable from
     [top], deepest behaviors first (so shallower modules can
-    instantiate deeper ones). With [token], construction polls the
+    instantiate deeper ones). The nested per-variant engines borrow
+    their caches from [session] when given (each creates a private
+    session otherwise). With [token], construction polls the
     budget for hard interruptions (deadline/cancel — never quotas) and
     raises {!Budget.Interrupted}; the caller abandons the context it
     was preparing. *)

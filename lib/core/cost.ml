@@ -28,9 +28,11 @@ type eval = {
    composition, which is what makes staged engine results bit-identical
    to direct evaluation. *)
 
-let schedule_stage ?prepared ctx cs design =
-  let sch = Sched.schedule ?prepared ctx cs design in
-  let area = Area.grand_total (Area.total ctx design ~n_states:(max 1 sch.Sched.makespan)) in
+let schedule_stage ?sched_cache ?prepared ctx cs design =
+  let sch = Sched.schedule ?cache:sched_cache ?prepared ctx cs design in
+  let area =
+    Area.grand_total (Area.total ?sched_cache ctx design ~n_states:(max 1 sch.Sched.makespan))
+  in
   {
     area;
     power = Float.nan;
@@ -39,11 +41,12 @@ let schedule_stage ?prepared ctx cs design =
     feasible = sch.Sched.feasible;
   }
 
-let power_stage ctx cs ~sampling_ns ~trace design partial =
+let power_stage ?sched_cache ctx cs ~sampling_ns ~trace design partial =
   if not partial.feasible then partial
   else begin
     let e =
-      Hsyn_obs.Trace.(span Power) "power" (fun () -> Power.energy_per_sample ctx cs design trace)
+      Hsyn_obs.Trace.(span Power) "power" (fun () ->
+          Power.energy_per_sample ?sched_cache ctx cs design trace)
     in
     {
       partial with
@@ -52,9 +55,10 @@ let power_stage ctx cs ~sampling_ns ~trace design partial =
     }
   end
 
-let evaluate ?(with_power = true) ctx cs ~sampling_ns ~trace design =
-  let partial = schedule_stage ctx cs design in
-  if with_power then power_stage ctx cs ~sampling_ns ~trace design partial else partial
+let evaluate ?(with_power = true) ?sched_cache ctx cs ~sampling_ns ~trace design =
+  let partial = schedule_stage ?sched_cache ctx cs design in
+  if with_power then power_stage ?sched_cache ctx cs ~sampling_ns ~trace design partial
+  else partial
 
 (* In power mode a small area term breaks ties among equal-power
    candidates toward compact designs; it keeps the power optimizer's

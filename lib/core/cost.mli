@@ -23,6 +23,7 @@ type eval = {
 
 val evaluate :
   ?with_power:bool ->
+  ?sched_cache:Sched.Cache.t ->
   Design.ctx ->
   Sched.constraints ->
   sampling_ns:float ->
@@ -31,15 +32,23 @@ val evaluate :
   eval
 (** Evaluate a design point. [with_power] defaults to true; pass false
     in area-only searches to skip the simulation. Exactly
-    [power_stage] composed on [schedule_stage]. *)
+    [power_stage] composed on [schedule_stage]. [?sched_cache] is
+    forwarded to both stages. *)
 
 val schedule_stage :
-  ?prepared:Sched.Prepared.t -> Design.ctx -> Sched.constraints -> Design.t -> eval
+  ?sched_cache:Sched.Cache.t ->
+  ?prepared:Sched.Prepared.t ->
+  Design.ctx ->
+  Sched.constraints ->
+  Design.t ->
+  eval
 (** The cheap stage: list scheduling plus the area model. [power] and
     [energy_sample] are [nan]. Equals [evaluate ~with_power:false].
-    [?prepared] is forwarded to {!Sched.schedule}. *)
+    [?prepared] and [?sched_cache] are forwarded to {!Sched.schedule}
+    (and the cache to the area model's module profiles). *)
 
 val power_stage :
+  ?sched_cache:Sched.Cache.t ->
   Design.ctx ->
   Sched.constraints ->
   sampling_ns:float ->

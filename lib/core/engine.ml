@@ -4,7 +4,10 @@ module Pool = Hsyn_util.Pool
 module Metrics = Hsyn_obs.Metrics
 module Span = Hsyn_obs.Trace
 
-type counters = {
+(* The counters record lives in [Session] so sessions can aggregate
+   across engines; re-exported here with a type equation so existing
+   [Engine.counters] field accesses keep working. *)
+type counters = Session.counters = {
   generated : int;
   evaluated : int;
   cache_hits : int;
@@ -16,67 +19,16 @@ type counters = {
   wall_s : float;
 }
 
-let zero =
-  {
-    generated = 0;
-    evaluated = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    evictions = 0;
-    power_sims = 0;
-    power_skipped = 0;
-    batches = 0;
-    wall_s = 0.;
-  }
-
-let add a b =
-  {
-    generated = a.generated + b.generated;
-    evaluated = a.evaluated + b.evaluated;
-    cache_hits = a.cache_hits + b.cache_hits;
-    cache_misses = a.cache_misses + b.cache_misses;
-    evictions = a.evictions + b.evictions;
-    power_sims = a.power_sims + b.power_sims;
-    power_skipped = a.power_skipped + b.power_skipped;
-    batches = a.batches + b.batches;
-    wall_s = a.wall_s +. b.wall_s;
-  }
-
-let sub a b =
-  {
-    generated = a.generated - b.generated;
-    evaluated = a.evaluated - b.evaluated;
-    cache_hits = a.cache_hits - b.cache_hits;
-    cache_misses = a.cache_misses - b.cache_misses;
-    evictions = a.evictions - b.evictions;
-    power_sims = a.power_sims - b.power_sims;
-    power_skipped = a.power_skipped - b.power_skipped;
-    batches = a.batches - b.batches;
-    wall_s = a.wall_s -. b.wall_s;
-  }
-
-let rate num denom = if denom <= 0 then 0. else 100. *. Float.of_int num /. Float.of_int denom
-
-let pp_counters ppf c =
-  Format.fprintf ppf
-    "gen %d  eval %d  cache %d/%d (%.1f%% hit)  evict %d  sims %d  skipped %d (%.1f%%)  batches %d  %.3fs"
-    c.generated c.evaluated c.cache_hits
-    (c.cache_hits + c.cache_misses)
-    (rate c.cache_hits (c.cache_hits + c.cache_misses))
-    c.evictions c.power_sims c.power_skipped
-    (rate c.power_skipped (c.power_sims + c.power_skipped))
-    c.batches c.wall_s
+let zero = Session.zero
+let add = Session.add
+let sub = Session.sub
+let pp_counters = Session.pp_counters
 
 type policy = { jobs : int; cache_capacity : int; staged : bool }
 
 let default_policy = { jobs = Pool.default_jobs (); cache_capacity = 4096; staged = true }
 
-(* A cache entry keeps the design it was computed from so a fingerprint
-   collision is caught by structural comparison and falls through to
-   recomputation — the cache can be stale-free but never wrong.
-   [power_done] records whether [e_eval] already includes the trace
-   simulation (infeasible designs never need one). *)
-type entry = { e_design : Design.t; mutable e_eval : Cost.eval; mutable e_power_done : bool }
+type entry = Session.entry = { e_design : Design.t; e_state : Session.entry_state Atomic.t }
 
 type t = {
   policy : policy;
@@ -87,8 +39,12 @@ type t = {
   n_samples : int;
   obj : Cost.objective;
   token : Budget.token option;
-  cache : (int64, entry) Hashtbl.t;
-  order : int64 Queue.t;  (* FIFO eviction order, one slot per fingerprint *)
+  session : Session.t;
+  sched_cache : Sched.Cache.t;  (* = [Session.sched_cache session], fetched once *)
+  costs : Session.cost_cache option;
+      (* the session's fingerprint cache for this engine's evaluation
+         context; [None] when [policy.cache_capacity <= 0] (the engine
+         then neither probes nor inserts) *)
   mutable prepared : Sched.Prepared.t option;
       (* scheduling context of the graph last evaluated; candidates in a
          batch share their graph physically, so this is one lookup per
@@ -97,15 +53,6 @@ type t = {
   mutable totals : counters;
   families : (string, counters) Hashtbl.t;
 }
-
-(* Process-wide accumulators, aggregated across every engine created in
-   this process (top-level runs, clib construction, nested resynthesis).
-   Engines only mutate them from the domain that owns the engine; the
-   worker pool runs pure evaluation closures, so no lock is needed as
-   long as synthesis itself is driven from one domain — which is how
-   the CLI, bench harness and tests all use it. *)
-let global_totals = ref zero
-let global_families : (string, counters) Hashtbl.t = Hashtbl.create 16
 
 let bump_family tbl fam d =
   let cur = match Hashtbl.find_opt tbl fam with Some c -> c | None -> zero in
@@ -135,15 +82,18 @@ let metrics_bump fam d =
 
 let bump t ?fam d =
   t.totals <- add t.totals d;
-  global_totals := add !global_totals d;
+  Session.bump t.session ?family:fam d;
   if Metrics.is_enabled () then metrics_bump fam d;
-  match fam with
-  | None -> ()
-  | Some f ->
-      bump_family t.families f d;
-      bump_family global_families f d
+  match fam with None -> () | Some f -> bump_family t.families f d
 
-let create ?(policy = default_policy) ?token ~ctx ~cs ~sampling_ns ~trace ~objective () =
+let create ?(policy = default_policy) ?session ?token ~ctx ~cs ~sampling_ns ~trace ~objective () =
+  let session = match session with Some s -> s | None -> Session.create () in
+  let costs =
+    if policy.cache_capacity > 0 then
+      Some
+        (Session.cost_cache session ~capacity:policy.cache_capacity ~ctx ~cs ~sampling_ns ~trace)
+    else None
+  in
   {
     policy = { policy with jobs = max 1 policy.jobs };
     ctx;
@@ -153,8 +103,9 @@ let create ?(policy = default_policy) ?token ~ctx ~cs ~sampling_ns ~trace ~objec
     n_samples = List.length trace;
     obj = objective;
     token;
-    cache = Hashtbl.create 256;
-    order = Queue.create ();
+    session;
+    sched_cache = Session.sched_cache session;
+    costs;
     prepared = None;
     totals = zero;
     families = Hashtbl.create 8;
@@ -181,46 +132,26 @@ let raise_interrupted t =
 
 let objective t = t.obj
 let counters t = t.totals
-let cache_size t = Hashtbl.length t.cache
+let session t = t.session
+let cache_size t = match t.costs with Some c -> Session.cost_size c | None -> 0
 
 let sorted_families tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let family_counters t = sorted_families t.families
-let global_counters () = !global_totals
-let global_family_counters () = sorted_families global_families
-
-let reset_global_counters () =
-  global_totals := zero;
-  Hashtbl.reset global_families
 
 (* -- cache ------------------------------------------------------------- *)
 
 let cache_insert t fp (e : entry) =
-  if t.policy.cache_capacity > 0 then begin
-    if Hashtbl.length t.cache >= t.policy.cache_capacity then begin
-      (* FIFO: drop the oldest fingerprint still resident. *)
-      let rec evict () =
-        match Queue.take_opt t.order with
-        | None -> ()
-        | Some old ->
-            if Hashtbl.mem t.cache old then begin
-              Hashtbl.remove t.cache old;
-              bump t { zero with evictions = 1 }
-            end
-            else evict ()
-      in
-      evict ()
-    end;
-    if not (Hashtbl.mem t.cache fp) then Queue.add fp t.order;
-    Hashtbl.replace t.cache fp e
-  end
+  match t.costs with
+  | None -> ()
+  | Some cache ->
+      let evicted = Session.cost_insert cache fp e in
+      if evicted > 0 then bump t { zero with evictions = evicted }
 
 let cache_find t fp design =
-  match Hashtbl.find_opt t.cache fp with
-  | Some e when e.e_design = design -> Some e
-  | _ -> None
+  match t.costs with None -> None | Some cache -> Session.cost_find cache fp design
 
 (* -- staged evaluation primitives -------------------------------------- *)
 
@@ -229,7 +160,7 @@ let cache_find t fp design =
 let prime_prepared t (design : Design.t) =
   match t.prepared with
   | Some p when Sched.Prepared.dfg p == design.Design.dfg -> ()
-  | _ -> t.prepared <- Some (Sched.prepared_for design.Design.dfg)
+  | _ -> t.prepared <- Some (Sched.prepared_for ~cache:t.sched_cache design.Design.dfg)
 
 let stage1 t (design : Design.t) =
   let prepared =
@@ -237,25 +168,30 @@ let stage1 t (design : Design.t) =
     | Some p when Sched.Prepared.dfg p == design.Design.dfg -> Some p
     | _ -> None
   in
-  Cost.schedule_stage ?prepared t.ctx t.cs design
+  Cost.schedule_stage ~sched_cache:t.sched_cache ?prepared t.ctx t.cs design
 
 let stage2 t design partial =
-  Cost.power_stage t.ctx t.cs ~sampling_ns:t.sampling_ns ~trace:t.trace design partial
+  Cost.power_stage ~sched_cache:t.sched_cache t.ctx t.cs ~sampling_ns:t.sampling_ns
+    ~trace:t.trace design partial
 
 (* Fill the power stage into an entry; a no-op when already done.
-   Returns true when a simulation actually ran. *)
+   Returns true when a simulation actually ran. Safe under sharing: a
+   concurrent engine upgrading the same entry computes the same bits,
+   so the losing writer's [Atomic.set] is idempotent. *)
 let complete_power t (e : entry) =
-  if e.e_power_done then false
-  else begin
-    e.e_eval <- stage2 t e.e_design e.e_eval;
-    e.e_power_done <- true;
-    true
-  end
+  match Atomic.get e.e_state with
+  | Session.Full _ -> false
+  | Session.Partial ev ->
+      Atomic.set e.e_state (Session.Full (stage2 t e.e_design ev));
+      true
 
 let fresh_entry t ?(need_power = false) design =
   let partial = stage1 t design in
-  let power_done = not partial.Cost.feasible in
-  let e = { e_design = design; e_eval = partial; e_power_done = power_done } in
+  let state =
+    (* infeasible designs never need a simulation — born complete *)
+    if partial.Cost.feasible then Session.Partial partial else Session.Full partial
+  in
+  let e = { e_design = design; e_state = Atomic.make state } in
   if need_power then ignore (complete_power t e : bool);
   e
 
@@ -266,13 +202,13 @@ let eval_internal t ~need_power design =
   | Some e ->
       let sims = if need_power && complete_power t e then 1 else 0 in
       bump t { zero with cache_hits = 1; power_sims = sims };
-      e.e_eval
+      Session.entry_eval e
   | None ->
       let e = fresh_entry t ~need_power design in
-      let sims = if e.e_power_done && e.e_eval.Cost.feasible then 1 else 0 in
+      let sims = if need_power && (Session.entry_eval e).Cost.feasible then 1 else 0 in
       bump t { zero with cache_misses = 1; evaluated = 1; power_sims = sims };
       cache_insert t fp e;
-      e.e_eval
+      Session.entry_eval e
 
 let evaluate t design = eval_internal t ~need_power:(t.obj = Power) design
 let evaluate_with_power t design = eval_internal t ~need_power:true design
@@ -334,20 +270,21 @@ let best_of t ?family ~limit seq =
               match Hashtbl.find_opt batch_seen fp with
               | Some e when e.e_design = design -> Some e
               | _ ->
-                  (* placeholder entry; its eval is filled from the
+                  (* placeholder entry; its state is filled from the
                      stage-1 results below before anyone reads it *)
                   let e =
                     {
                       e_design = design;
-                      e_eval =
-                        {
-                          Cost.area = 0.;
-                          power = Float.nan;
-                          energy_sample = Float.nan;
-                          makespan = 0;
-                          feasible = false;
-                        };
-                      e_power_done = false;
+                      e_state =
+                        Atomic.make
+                          (Session.Partial
+                             {
+                               Cost.area = 0.;
+                               power = Float.nan;
+                               energy_sample = Float.nan;
+                               makespan = 0;
+                               feasible = false;
+                             });
                     }
                   in
                   Hashtbl.replace batch_seen fp e;
@@ -376,10 +313,10 @@ let best_of t ?family ~limit seq =
             let e =
               match Hashtbl.find_opt batch_seen fp with
               | Some e when e.e_design == design -> e
-              | _ -> { e_design = design; e_eval = partial; e_power_done = false }
+              | _ -> { e_design = design; e_state = Atomic.make (Session.Partial partial) }
             in
-            e.e_eval <- partial;
-            e.e_power_done <- not partial.Cost.feasible;
+            Atomic.set e.e_state
+              (if partial.Cost.feasible then Session.Partial partial else Session.Full partial);
             cache_insert t fp e;
             { c_idx = i; c_tag = tag; c_fam = fam tag; c_fp = fp; c_entry = e; c_cached = false }
         | None, None -> assert false)
@@ -388,7 +325,7 @@ let best_of t ?family ~limit seq =
   let finish best =
     bump t { zero with batches = 1; wall_s = Unix.gettimeofday () -. t0 };
     Option.map
-      (fun (c, v) -> (c.c_tag, c.c_entry.e_design, c.c_entry.e_eval, v))
+      (fun (c, v) -> (c.c_tag, c.c_entry.e_design, Session.entry_eval c.c_entry, v))
       best
   in
   match t.obj with
@@ -397,7 +334,7 @@ let best_of t ?family ~limit seq =
       let best = ref None in
       Array.iter
         (fun c ->
-          let v = Cost.objective_value t.obj c.c_entry.e_eval in
+          let v = Cost.objective_value t.obj (Session.entry_eval c.c_entry) in
           if v < infinity then
             match !best with
             | Some (_, bv, bi) when not (better (v, c.c_idx) (bv, bi)) -> ()
@@ -409,7 +346,7 @@ let best_of t ?family ~limit seq =
          known (cache hits with a completed simulation). *)
       let best = ref None in
       let consider c =
-        let v = Cost.objective_value t.obj c.c_entry.e_eval in
+        let v = Cost.objective_value t.obj (Session.entry_eval c.c_entry) in
         if v < infinity then
           match !best with
           | Some (_, bv, bi) when not (better (v, c.c_idx) (bv, bi)) -> ()
@@ -418,10 +355,9 @@ let best_of t ?family ~limit seq =
       let pending = ref [] in
       Array.iter
         (fun c ->
-          if c.c_entry.e_power_done then begin
-            if c.c_entry.e_eval.Cost.feasible then consider c
-          end
-          else pending := c :: !pending)
+          match Atomic.get c.c_entry.e_state with
+          | Session.Full ev -> if ev.Cost.feasible then consider c
+          | Session.Partial _ -> pending := c :: !pending)
         cands;
       (* Simulate the rest cheapest-bound-first, in waves sized to the
          pool, skipping every candidate whose lower bound proves it
@@ -429,7 +365,7 @@ let best_of t ?family ~limit seq =
          objective >= bound > best value. *)
       let bound c =
         Cost.objective_lower_bound t.obj t.ctx ~sampling_ns:t.sampling_ns
-          ~n_samples:t.n_samples c.c_entry.e_eval c.c_entry.e_design
+          ~n_samples:t.n_samples (Session.entry_eval c.c_entry) c.c_entry.e_design
       in
       let pending =
         List.rev_map (fun c -> (bound c, c)) !pending
@@ -456,14 +392,14 @@ let best_of t ?family ~limit seq =
                 let evals =
                   try
                     Pool.map_array ~cancel pool
-                      (fun (_, c) -> stage2 t c.c_entry.e_design c.c_entry.e_eval)
+                      (fun (_, c) ->
+                        stage2 t c.c_entry.e_design (Session.entry_eval c.c_entry))
                       (Array.of_list wave)
                   with Pool.Cancelled -> raise_interrupted t
                 in
                 List.iteri
                   (fun i (_, c) ->
-                    c.c_entry.e_eval <- evals.(i);
-                    c.c_entry.e_power_done <- true;
+                    Atomic.set c.c_entry.e_state (Session.Full evals.(i));
                     bump t ?fam:c.c_fam { zero with power_sims = 1 };
                     consider c)
                   wave;

@@ -30,7 +30,7 @@
 module Design = Hsyn_rtl.Design
 module Sched = Hsyn_sched.Sched
 
-type counters = {
+type counters = Session.counters = {
   generated : int;  (** candidates pulled from the move generators *)
   evaluated : int;  (** schedule+area stages actually computed *)
   cache_hits : int;
@@ -64,6 +64,7 @@ type t
 
 val create :
   ?policy:policy ->
+  ?session:Session.t ->
   ?token:Budget.token ->
   ctx:Design.ctx ->
   cs:Sched.constraints ->
@@ -74,8 +75,12 @@ val create :
   t
 (** An engine is bound to one evaluation context — the technology
     context, constraints, sampling period, input trace and objective
-    fixed for one improvement run. The cost cache is scoped to the
-    engine, so context changes can never alias.
+    fixed for one improvement run — and borrows its caches from
+    [session] (a fresh private session when omitted). The session's
+    cost cache is partitioned by the evaluation context, so engines
+    with different contexts sharing a session can never alias, and
+    results are bit-identical whether the session is fresh or shared
+    (see {!Session}).
 
     When a budget [token] is given, {!best_of} polls it for {e hard}
     interruptions (deadline, cancellation) between evaluation waves
@@ -83,6 +88,9 @@ val create :
     are never consulted here, so quota-limited runs stay
     deterministic. An interrupted batch leaves no worker domain stuck
     and no partial result visible. *)
+
+val session : t -> Session.t
+(** The session this engine was created against. *)
 
 val objective : t -> Cost.objective
 
@@ -116,14 +124,11 @@ val family_counters : t -> (string * counters) list
 (** Per-family snapshots, sorted by family name. *)
 
 val cache_size : t -> int
+(** Resident entries in this engine's context slice of the session
+    cost cache (0 when the cache is disabled). *)
 
-(** {1 Process-wide accounting}
-
-    Engines are created at every level of the synthesis recursion
+(** Engines are created at every level of the synthesis recursion
     (top-level improvement, complex-library construction, move-B
-    resynthesis); the global accumulators aggregate across all of them
-    for [--stats] reporting and the bench harness. *)
-
-val global_counters : unit -> counters
-val global_family_counters : unit -> (string * counters) list
-val reset_global_counters : unit -> unit
+    resynthesis); the {!Session} they share aggregates counters across
+    all of them for [--stats] reporting and the bench harness — there
+    is no process-wide accounting anymore. *)

@@ -4,7 +4,7 @@ module Registry = Hsyn_dfg.Registry
 module Sched = Hsyn_sched.Sched
 module Library = Hsyn_modlib.Library
 
-let rec build ctx ~complexes registry (dfg : Dfg.t) =
+let rec build ?sched_cache ctx ~complexes registry (dfg : Dfg.t) =
   let insts = ref [] in
   let n_insts = ref 0 in
   let add_inst kind =
@@ -22,11 +22,13 @@ let rec build ctx ~complexes registry (dfg : Dfg.t) =
               match complexes behavior with
               | [] ->
                   let variant = Registry.default_variant registry behavior in
-                  let part = build ctx ~complexes registry variant in
+                  let part = build ?sched_cache ctx ~complexes registry variant in
                   { Design.rm_name = behavior ^ "#init"; parts = [ (behavior, part) ] }
               | candidates ->
                   (* fastest available implementation *)
-                  let busy rm = (Sched.module_profile ctx rm behavior).Sched.busy in
+                  let busy rm =
+                    (Sched.module_profile ?cache:sched_cache ctx rm behavior).Sched.busy
+                  in
                   List.fold_left (fun best rm -> if busy rm < busy best then rm else best)
                     (List.hd candidates) (List.tl candidates)
             in

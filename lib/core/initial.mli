@@ -12,12 +12,15 @@ module Dfg = Hsyn_dfg.Dfg
 module Registry = Hsyn_dfg.Registry
 
 val build :
+  ?sched_cache:Hsyn_sched.Sched.Cache.t ->
   Design.ctx ->
   complexes:(string -> Design.rtl_module list) ->
   Registry.t ->
   Dfg.t ->
   Design.t
 (** [complexes] returns the library RTL modules implementing a
-    behavior (fastest is chosen); it may return [[]].
+    behavior (fastest is chosen); it may return [[]]. The module
+    profiles consulted for that choice are memoized in [sched_cache]
+    when given (a transient per-call cache otherwise).
     @raise Not_found if an operation has no supporting library unit or
     a called behavior is unregistered. *)

@@ -44,6 +44,10 @@ let fresh_name env base =
   env.fresh_names <- env.fresh_names + 1;
   Printf.sprintf "%s~%d" base env.fresh_names
 
+(* Scheduling done by generators (not via the engine) still goes
+   through the session's scheduler cache. *)
+let sched_cache env = Session.sched_cache (Engine.session env.engine)
+
 (* Candidates are produced lazily — [(kind, description), design]
    sequences — so the per-family truncation in [best_of] also bounds
    generation work (nested resynthesis, RTL embedding), not just
@@ -145,8 +149,8 @@ let resynth_candidates env (d : Design.t) : candidate Seq.t =
          instances but only computed if some candidate is pulled *)
       let pre =
         lazy
-          ( Sched.schedule env.ctx env.cs d,
-            Sched.alap_start env.ctx ~deadline:env.cs.Sched.deadline d,
+          ( Sched.schedule ~cache:(sched_cache env) env.ctx env.cs d,
+            Sched.alap_start ~cache:(sched_cache env) env.ctx ~deadline:env.cs.Sched.deadline d,
             Design.consumer_index dfg )
       in
       Seq.init (Array.length d.Design.insts) Fun.id
@@ -389,7 +393,7 @@ let module_merge_candidates env (d : Design.t) : candidate Seq.t =
 let left_edge_candidate env (d : Design.t) : candidate Seq.t =
  fun () ->
   let dfg = d.Design.dfg in
-  let sch = Sched.schedule env.ctx env.cs d in
+  let sch = Sched.schedule ~cache:(sched_cache env) env.ctx env.cs d in
   if not sch.Sched.feasible then Seq.Nil
   else begin
     let cidx = Design.consumer_index dfg in
@@ -470,7 +474,7 @@ let merge_candidates env d : candidate Seq.t =
 (* Move family D: splitting *)
 
 let split_candidates env (d : Design.t) : candidate Seq.t =
-  let sch = lazy (Sched.schedule env.ctx env.cs d) in
+  let sch = lazy (Sched.schedule ~cache:(sched_cache env) env.ctx env.cs d) in
   Seq.init (Array.length d.Design.insts) Fun.id
   |> Seq.concat_map (fun i ->
          let nodes = Design.nodes_on d i in

@@ -1,0 +1,250 @@
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Shard_tbl = Hsyn_util.Shard_tbl
+module Metrics = Hsyn_obs.Metrics
+
+(* -- evaluation counters ------------------------------------------------ *)
+
+type counters = {
+  generated : int;
+  evaluated : int;
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  power_sims : int;
+  power_skipped : int;
+  batches : int;
+  wall_s : float;
+}
+
+let zero =
+  {
+    generated = 0;
+    evaluated = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    evictions = 0;
+    power_sims = 0;
+    power_skipped = 0;
+    batches = 0;
+    wall_s = 0.;
+  }
+
+let add a b =
+  {
+    generated = a.generated + b.generated;
+    evaluated = a.evaluated + b.evaluated;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    evictions = a.evictions + b.evictions;
+    power_sims = a.power_sims + b.power_sims;
+    power_skipped = a.power_skipped + b.power_skipped;
+    batches = a.batches + b.batches;
+    wall_s = a.wall_s +. b.wall_s;
+  }
+
+let sub a b =
+  {
+    generated = a.generated - b.generated;
+    evaluated = a.evaluated - b.evaluated;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    evictions = a.evictions - b.evictions;
+    power_sims = a.power_sims - b.power_sims;
+    power_skipped = a.power_skipped - b.power_skipped;
+    batches = a.batches - b.batches;
+    wall_s = a.wall_s -. b.wall_s;
+  }
+
+let rate num denom = if denom <= 0 then 0. else 100. *. Float.of_int num /. Float.of_int denom
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "gen %d  eval %d  cache %d/%d (%.1f%% hit)  evict %d  sims %d  skipped %d (%.1f%%)  batches %d  %.3fs"
+    c.generated c.evaluated c.cache_hits
+    (c.cache_hits + c.cache_misses)
+    (rate c.cache_hits (c.cache_hits + c.cache_misses))
+    c.evictions c.power_sims c.power_skipped
+    (rate c.power_skipped (c.power_sims + c.power_skipped))
+    c.batches c.wall_s
+
+(* -- cost cache entries ------------------------------------------------- *)
+
+(* An entry keeps the design it was computed from so a fingerprint
+   collision is caught by structural comparison and falls through to
+   recomputation — the cache can be stale-free but never wrong. The
+   state is one atomic value rather than a mutable eval plus a "power
+   done" flag: concurrent engines sharing a session may race to
+   upgrade an entry from [Partial] to [Full], and a single pointer
+   swap means a reader sees either the complete old state or the
+   complete new one, never a mix. Both racers compute the same bits
+   (evals are deterministic functions of context and design), so the
+   race only ever duplicates work. *)
+
+type entry_state = Partial of Cost.eval | Full of Cost.eval
+
+type entry = { e_design : Design.t; e_state : entry_state Atomic.t }
+
+let entry_eval e = match Atomic.get e.e_state with Partial v | Full v -> v
+
+module Fp_key = struct
+  type t = int64
+
+  let equal = Int64.equal
+  let hash k = Int64.to_int (Int64.logxor k (Int64.shift_right_logical k 32)) land max_int
+end
+
+module Cost_tbl = Shard_tbl.Make (Fp_key)
+
+type cost_cache = entry Cost_tbl.t
+
+(* The full evaluation context an entry depends on. Two engines with
+   equal keys may share entries; anything that could change an eval is
+   part of the key. The objective deliberately is not: it selects
+   which stage runs, not what either stage computes. Libraries are
+   compared physically — distinct-but-equal libraries simply get
+   separate caches, which is always safe. *)
+type ctx_key = {
+  k_lib : Hsyn_modlib.Library.t;
+  k_vdd : Hsyn_modlib.Voltage.t;
+  k_clk_ns : float;
+  k_cs : Sched.constraints;
+  k_sampling_ns : float;
+  k_trace : int array list;
+}
+
+module Ctx_key = struct
+  type t = ctx_key
+
+  let equal a b =
+    a.k_lib == b.k_lib && a.k_vdd = b.k_vdd && a.k_clk_ns = b.k_clk_ns
+    && a.k_sampling_ns = b.k_sampling_ns && a.k_cs = b.k_cs
+    && (a.k_trace == b.k_trace || a.k_trace = b.k_trace)
+
+  let hash k = Hashtbl.hash (k.k_vdd, k.k_clk_ns, k.k_sampling_ns, k.k_cs.Sched.deadline)
+end
+
+module Ctx_tbl = Shard_tbl.Make (Ctx_key)
+
+(* -- sessions ----------------------------------------------------------- *)
+
+type t = {
+  sc : Sched.Cache.t;
+  contexts : cost_cache Ctx_tbl.t;
+  cost_shards : int;
+  acc_lock : Mutex.t;
+  mutable acc_totals : counters;
+  acc_families : (string, counters) Hashtbl.t;
+}
+
+let create ?(cost_shards = 8) ?(max_contexts = 64) ?prepared_capacity ?profile_capacity () =
+  {
+    sc = Sched.Cache.create ?prepared_capacity ?profile_capacity ();
+    contexts = Ctx_tbl.create ~shards:4 ~capacity:max_contexts ();
+    cost_shards;
+    acc_lock = Mutex.create ();
+    acc_totals = zero;
+    acc_families = Hashtbl.create 16;
+  }
+
+let sched_cache t = t.sc
+
+let bump t ?family d =
+  Mutex.lock t.acc_lock;
+  t.acc_totals <- add t.acc_totals d;
+  (match family with
+  | None -> ()
+  | Some f ->
+      let cur = match Hashtbl.find_opt t.acc_families f with Some c -> c | None -> zero in
+      Hashtbl.replace t.acc_families f (add cur d));
+  Mutex.unlock t.acc_lock
+
+let totals t =
+  Mutex.lock t.acc_lock;
+  let c = t.acc_totals in
+  Mutex.unlock t.acc_lock;
+  c
+
+let family_totals t =
+  Mutex.lock t.acc_lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.acc_families [] in
+  Mutex.unlock t.acc_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let reset_totals t =
+  Mutex.lock t.acc_lock;
+  t.acc_totals <- zero;
+  Hashtbl.reset t.acc_families;
+  Mutex.unlock t.acc_lock
+
+let cost_cache t ~capacity ~ctx ~cs ~sampling_ns ~trace =
+  let key =
+    {
+      k_lib = ctx.Design.lib;
+      k_vdd = ctx.Design.vdd;
+      k_clk_ns = ctx.Design.clk_ns;
+      k_cs = cs;
+      k_sampling_ns = sampling_ns;
+      k_trace = trace;
+    }
+  in
+  Ctx_tbl.find_or_build t.contexts key (fun _ ->
+      Cost_tbl.create ~shards:t.cost_shards ~capacity ())
+
+let cost_find cache fp design =
+  match Cost_tbl.find_opt cache fp with
+  | Some e when e.e_design = design -> Some e
+  | _ -> None
+
+let cost_insert cache fp e = Cost_tbl.set cache fp e
+let cost_size cache = Cost_tbl.length cache
+
+(* -- statistics --------------------------------------------------------- *)
+
+type stats = {
+  cost_tbl : Shard_tbl.stats;
+  contexts : int;
+  prepared_tbl : Shard_tbl.stats;
+  profile_tbl : Shard_tbl.stats;
+}
+
+let stats (t : t) =
+  let cost = ref Shard_tbl.zero_stats in
+  let n = ref 0 in
+  Ctx_tbl.iter
+    (fun _ cache ->
+      incr n;
+      cost := Shard_tbl.add_stats !cost (Cost_tbl.stats cache))
+    t.contexts;
+  let sc = Sched.Cache.stats t.sc in
+  {
+    cost_tbl = !cost;
+    contexts = !n;
+    prepared_tbl = sc.Sched.Cache.prepared_tbl;
+    profile_tbl = sc.Sched.Cache.profile_tbl;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>[session] cost cache (%d ctx): %a@,[session] prepared: %a@,[session] profiles: %a@]"
+    s.contexts Shard_tbl.pp_stats s.cost_tbl Shard_tbl.pp_stats s.prepared_tbl Shard_tbl.pp_stats
+    s.profile_tbl
+
+let export_metrics t =
+  if Metrics.is_enabled () then begin
+    let s = stats t in
+    let table name (st : Shard_tbl.stats) =
+      let g suffix v = Metrics.set (Metrics.gauge ("session." ^ name ^ "." ^ suffix)) v in
+      g "hits" (Float.of_int st.Shard_tbl.hits);
+      g "misses" (Float.of_int st.Shard_tbl.misses);
+      g "evictions" (Float.of_int st.Shard_tbl.evictions);
+      g "size" (Float.of_int st.Shard_tbl.size);
+      Array.iteri
+        (fun i occ -> g (Printf.sprintf "shard%d.size" i) (Float.of_int occ))
+        st.Shard_tbl.occupancy
+    in
+    table "cost" s.cost_tbl;
+    table "prepared" s.prepared_tbl;
+    table "profiles" s.profile_tbl;
+    Metrics.set (Metrics.gauge "session.contexts") (Float.of_int s.contexts)
+  end

@@ -1,0 +1,152 @@
+(** Session-scoped memoization and accounting for synthesis.
+
+    A session owns every piece of state that used to be global or
+    per-engine: the scheduler's prepared-context and module-profile
+    caches, the engine's fingerprint-keyed cost cache, and the
+    aggregated evaluation counters. Engines, passes and requests all
+    borrow from the session they were created with — there is no
+    process-wide mutable cache state left in [lib/core] or
+    [lib/sched].
+
+    Sharing one session across N concurrent [Synthesize.synthesize]
+    calls is safe and bit-identical to running each call on a fresh
+    session: every cached value is a deterministic function of its key
+    (cost entries are additionally verified structurally against the
+    design, so fingerprint collisions fall through to recomputation),
+    so a cache hit only changes {e which computation ran}, never the
+    value observed. The cost cache is partitioned by the full
+    evaluation context (library, vdd, clock, constraints, sampling
+    period, trace), so requests with different parameters can share a
+    session without aliasing.
+
+    One asymmetry is allowed by design: a shared entry can be {e more
+    complete} than a fresh run would have produced at the same point —
+    its power simulation may already be filled in by an earlier run.
+    Completeness never changes a search decision (area objectives
+    ignore power; power-mode bound skipping is exact), and final
+    results are always fully evaluated, so results stay bit-identical.
+
+    The session is the unit ROADMAP item 1 ([hsyn serve]) shares
+    between concurrent requests and item 2's portfolio strategies race
+    over. *)
+
+module Design = Hsyn_rtl.Design
+module Sched = Hsyn_sched.Sched
+module Shard_tbl = Hsyn_util.Shard_tbl
+
+(** {1 Evaluation counters}
+
+    Owned here (rather than by [Engine]) so the session can aggregate
+    across every engine created against it; [Engine] re-exports the
+    record for compatibility. *)
+
+type counters = {
+  generated : int;
+  evaluated : int;
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  power_sims : int;
+  power_skipped : int;
+  batches : int;
+  wall_s : float;
+}
+
+val zero : counters
+val add : counters -> counters -> counters
+val sub : counters -> counters -> counters
+val pp_counters : Format.formatter -> counters -> unit
+
+(** {1 Sessions} *)
+
+type t
+
+val create :
+  ?cost_shards:int ->
+  ?max_contexts:int ->
+  ?prepared_capacity:int ->
+  ?profile_capacity:int ->
+  unit ->
+  t
+(** [cost_shards] (default 8) shards each per-context cost cache;
+    [max_contexts] (default 64) bounds the number of distinct
+    evaluation contexts with live cost caches (FIFO beyond that);
+    the two capacities size the scheduler cache (see
+    {!Sched.Cache.create}). *)
+
+val sched_cache : t -> Sched.Cache.t
+(** The scheduler-side cache (prepared contexts, module profiles) this
+    session owns; pass it to [Sched]/[Area]/[Power] entry points. *)
+
+(** {1 Aggregated accounting} *)
+
+val bump : t -> ?family:string -> counters -> unit
+(** Add a delta to the session totals (and the per-family breakdown
+    when [family] is given). Thread-safe; called by engines on every
+    evaluation. *)
+
+val totals : t -> counters
+
+val family_totals : t -> (string * counters) list
+(** Sorted by family name. *)
+
+val reset_totals : t -> unit
+
+(** {1 The cost cache}
+
+    Fingerprint-keyed evaluation entries, one table per evaluation
+    context. An entry's state is a single atomic value — either
+    [Partial] (schedule + area only) or [Full] (trace simulation
+    included) — so concurrent engines upgrading or reading an entry
+    can never observe a torn pair of "power done" flag and stale
+    eval. *)
+
+type entry_state = Partial of Cost.eval | Full of Cost.eval
+
+type entry = { e_design : Design.t; e_state : entry_state Atomic.t }
+
+val entry_eval : entry -> Cost.eval
+
+type cost_cache
+
+val cost_cache :
+  t ->
+  capacity:int ->
+  ctx:Design.ctx ->
+  cs:Sched.constraints ->
+  sampling_ns:float ->
+  trace:int array list ->
+  cost_cache
+(** The session's cost cache for one evaluation context, created on
+    first use. [capacity] only applies to that first creation (the
+    table is shared afterwards); the library is compared by physical
+    identity, everything else structurally. *)
+
+val cost_find : cost_cache -> int64 -> Design.t -> entry option
+(** Lookup verified against the design: a fingerprint collision is
+    reported as a miss, never a wrong entry. *)
+
+val cost_insert : cost_cache -> int64 -> entry -> int
+(** Insert (or replace, after a collision) an entry; returns the
+    number of entries evicted to make room. *)
+
+val cost_size : cost_cache -> int
+
+(** {1 Statistics and export} *)
+
+type stats = {
+  cost_tbl : Shard_tbl.stats;  (** aggregated over all context caches *)
+  contexts : int;  (** live evaluation contexts *)
+  prepared_tbl : Shard_tbl.stats;
+  profile_tbl : Shard_tbl.stats;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val export_metrics : t -> unit
+(** Publish the current {!stats} through [Obs.Metrics] as [session.*]
+    gauges (hits, misses, evictions, sizes, per-shard occupancy as
+    [session.<table>.shard<i>.size]). A no-op while metrics are
+    disabled. Call after a run (or periodically from a server loop);
+    values are absolute snapshots, not deltas. *)

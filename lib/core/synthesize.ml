@@ -131,15 +131,18 @@ module Request = struct
     config : Config.t;
     budget : Budget.t;
     flatten : bool;
+    session : Session.t option;
+        (* memoization session shared with other requests; [None] gives
+           the run a fresh private session *)
   }
 
-  let make ?(config = default_config) ?(budget = Budget.unlimited) ?(flatten = false) ~lib
-      ~registry ~dfg ~objective ~sampling_ns () =
+  let make ?(config = default_config) ?(budget = Budget.unlimited) ?(flatten = false) ?session
+      ~lib ~registry ~dfg ~objective ~sampling_ns () =
     match Config.validate config with
     | Error msg -> Error msg
     | Ok config ->
         if sampling_ns <= 0. then Error "request: sampling_ns must be positive"
-        else Ok { lib; registry; dfg; objective; sampling_ns; config; budget; flatten }
+        else Ok { lib; registry; dfg; objective; sampling_ns; config; budget; flatten; session }
 
   let effective_dfg t =
     if t.flatten && Dfg.n_calls t.dfg > 0 then Flatten.flatten t.registry t.dfg else t.dfg
@@ -284,7 +287,7 @@ end
 (* A bounded re-synthesis closure for move B: improve the module part
    under the derived environment constraints, without nesting another
    level of B moves. *)
-let make_resynth ?token config registry complexes seed =
+let make_resynth ?session ?token config registry complexes seed =
   let counter = ref 0 in
   fun ctx cs objective (part : Design.t) ->
     incr counter;
@@ -296,7 +299,8 @@ let make_resynth ?token config registry complexes seed =
     in
     let sampling_ns = Float.of_int cs.Sched.deadline *. ctx.Design.clk_ns in
     let engine =
-      Engine.create ~policy:config.engine ?token ~ctx ~cs ~sampling_ns ~trace ~objective ()
+      Engine.create ~policy:config.engine ?session ?token ~ctx ~cs ~sampling_ns ~trace
+        ~objective ()
     in
     let env =
       {
@@ -327,7 +331,8 @@ let make_resynth ?token config registry complexes seed =
    construction, candidate batches before the first move commits);
    once improvement is underway an interruption surfaces as
    [stats.interrupted] with the best committed prefix. *)
-let run_context ?token ~events ~index (req : Request.t) config dfg (vdd, clk_ns, deadline) =
+let run_context ~session ?token ~events ~index (req : Request.t) config dfg
+    (vdd, clk_ns, deadline) =
   Hsyn_obs.Trace.(span Pass) "context" @@ fun () ->
   let ctx = { Design.lib = req.Request.lib; vdd; clk_ns } in
   let rng = Rng.create config.seed in
@@ -337,19 +342,19 @@ let run_context ?token ~events ~index (req : Request.t) config dfg (vdd, clk_ns,
       ~length:config.trace_length
   in
   let clib =
-    Clib.build ?token ctx req.Request.registry ~rng:(Rng.split rng)
+    Clib.build ~session ?token ctx req.Request.registry ~rng:(Rng.split rng)
       ~trace_length:config.trace_length ~effort:config.clib_effort ~top:dfg
   in
   let complexes = Clib.lookup clib in
   let cs = Sched.relaxed ~deadline dfg in
   let resynth =
     if config.enable_resynth then
-      Some (make_resynth ?token config req.Request.registry complexes config.seed)
+      Some (make_resynth ~session ?token config req.Request.registry complexes config.seed)
     else None
   in
   let engine =
-    Engine.create ~policy:config.engine ?token ~ctx ~cs ~sampling_ns:req.Request.sampling_ns
-      ~trace ~objective:req.Request.objective ()
+    Engine.create ~policy:config.engine ~session ?token ~ctx ~cs
+      ~sampling_ns:req.Request.sampling_ns ~trace ~objective:req.Request.objective ()
   in
   let env =
     {
@@ -368,7 +373,10 @@ let run_context ?token ~events ~index (req : Request.t) config dfg (vdd, clk_ns,
       fresh_names = 0;
     }
   in
-  let initial = Initial.build ctx ~complexes req.Request.registry dfg in
+  let initial =
+    Initial.build ~sched_cache:(Session.sched_cache session) ctx ~complexes req.Request.registry
+      dfg
+  in
   (* larger designs need longer move sequences per pass *)
   let max_moves = max config.max_moves (min 40 (Array.length initial.Design.insts)) in
   let on_pass pass moves value =
@@ -401,6 +409,12 @@ let synthesize ?(events = Events.null) ?token ?checkpoint ?(resume = false) (req
   | Ok config -> (
       let start_time = Unix.gettimeofday () in
       let token = match token with Some t -> t | None -> Budget.start req.Request.budget in
+      (* every engine of this run (contexts, clib construction, nested
+         resynthesis) borrows from one session — shared across runs
+         when the request carries one *)
+      let session =
+        match req.Request.session with Some s -> s | None -> Session.create ()
+      in
       let emit payload =
         events { Events.at_s = Unix.gettimeofday () -. start_time; payload }
       in
@@ -499,7 +513,7 @@ let synthesize ?(events = Events.null) ?token ?checkpoint ?(resume = false) (req
                      (Events.Context_started
                         { index; total; vdd; clk_ns; deadline_cycles = deadline });
                    match
-                     run_context ~token ~events:emit ~index req config dfg
+                     run_context ~session ~token ~events:emit ~index req config dfg
                        (vdd, clk_ns, deadline)
                    with
                    | exception Budget.Interrupted r ->
@@ -570,6 +584,7 @@ let synthesize ?(events = Events.null) ?token ?checkpoint ?(resume = false) (req
              emit (Events.Budget_exhausted { reason = Budget.reason_name r });
              save_checkpoint ());
           let elapsed_s = Unix.gettimeofday () -. start_time in
+          Session.export_metrics session;
           let completed = !stop_reason = None in
           let coverage =
             {
@@ -643,7 +658,7 @@ let run_flat ?(config = default_config) ~lib registry dfg objective ~sampling_ns
       | Ok r -> r
       | Error msg -> failwith ("Synthesize.run_flat: " ^ msg))
 
-let rescale_vdd ?(config = default_config) (r : result) vdds =
+let rescale_vdd ?(config = default_config) ?session (r : result) vdds =
   let rng = Rng.create config.seed in
   let trace =
     Trace.generate rng config.trace_kind
@@ -670,7 +685,7 @@ let rescale_vdd ?(config = default_config) (r : result) vdds =
             let engine =
               Engine.create
                 ~policy:{ config.engine with Engine.cache_capacity = 4 }
-                ~ctx ~cs ~sampling_ns:r.sampling_ns ~trace ~objective:r.objective ()
+                ?session ~ctx ~cs ~sampling_ns:r.sampling_ns ~trace ~objective:r.objective ()
             in
             let eval = Engine.evaluate_with_power engine r.design in
             if eval.Cost.feasible && eval.Cost.power < !best.eval.Cost.power then

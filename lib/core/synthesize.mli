@@ -117,12 +117,16 @@ module Request : sig
     config : Config.t;
     budget : Budget.t;
     flatten : bool;  (** flatten the hierarchy first (baseline mode) *)
+    session : Session.t option;
+        (** memoization session shared with other requests; [None]
+            gives the run a fresh private session *)
   }
 
   val make :
     ?config:Config.t ->
     ?budget:Budget.t ->
     ?flatten:bool ->
+    ?session:Session.t ->
     lib:Library.t ->
     registry:Registry.t ->
     dfg:Dfg.t ->
@@ -130,7 +134,10 @@ module Request : sig
     sampling_ns:float ->
     unit ->
     (t, string) result
-  (** Validates the config and [sampling_ns > 0]. *)
+  (** Validates the config and [sampling_ns > 0]. Passing [session]
+      lets several (possibly concurrent) requests share one
+      memoization session — results are bit-identical to running each
+      request on its own fresh session (see {!Session}). *)
 
   val effective_dfg : t -> Dfg.t
   (** The DFG the sweep actually runs on ([dfg], flattened when
@@ -232,7 +239,7 @@ val run_flat :
     trigger on a flat graph). Legacy shim like {!run}. *)
 
 val rescale_vdd :
-  ?config:config -> result -> Hsyn_modlib.Voltage.t list -> result
+  ?config:config -> ?session:Session.t -> result -> Hsyn_modlib.Voltage.t list -> result
 (** Voltage-scale a finished design: keep the architecture, try lower
     supply voltages (rescheduling at each), and return the lowest-power
     feasible point — the paper's "area-optimized circuits …

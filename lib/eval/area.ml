@@ -140,14 +140,19 @@ let steering (ctx : Design.ctx) (designs : Design.t list) =
   let wires = Float.of_int (Hashtbl.length nets) *. lib.Hsyn_modlib.Library.wire_area in
   (muxes, wires)
 
-let rec inst_area ctx = function
+(* The scheduler cache threads through the recursion because module
+   areas need module profiles (one controller state per busy cycle),
+   and computing a profile schedules the module's part. Callers on the
+   evaluation hot path pass their session's cache; the public wrappers
+   below default to a transient one scoped to the call. *)
+let rec inst_area cache ctx = function
   | Design.Simple fu -> fu.Fu.area
-  | Design.Module rm -> module_area ctx rm
+  | Design.Module rm -> module_area_rec cache ctx rm
 
-and datapath_of_parts ctx (designs : Design.t list) =
+and datapath_of_parts cache ctx (designs : Design.t list) =
   let lib = ctx.Design.lib in
   let first = List.hd designs in
-  let units = Array.fold_left (fun acc k -> acc +. inst_area ctx k) 0. first.Design.insts in
+  let units = Array.fold_left (fun acc k -> acc +. inst_area cache ctx k) 0. first.Design.insts in
   let used_regs =
     let used = Array.make (max 1 first.Design.n_regs) false in
     List.iter
@@ -159,23 +164,29 @@ and datapath_of_parts ctx (designs : Design.t list) =
   let muxes, wires = steering ctx designs in
   { units; registers; muxes; wires; controller = 0. }
 
-and datapath ctx d = datapath_of_parts ctx [ d ]
-
-and module_area ctx (rm : Design.rtl_module) =
+and module_area_rec cache ctx (rm : Design.rtl_module) =
   let parts = List.map snd rm.Design.parts in
-  let b = datapath_of_parts ctx parts in
+  let b = datapath_of_parts cache ctx parts in
   let states =
     List.fold_left
       (fun acc (behavior, _) ->
-        let p = Hsyn_sched.Sched.module_profile ctx rm behavior in
+        let p = Hsyn_sched.Sched.module_profile ~cache ctx rm behavior in
         acc + p.Hsyn_sched.Sched.busy)
       0 rm.Design.parts
   in
   let controller = Float.of_int states *. ctx.Design.lib.Hsyn_modlib.Library.ctrl_area_per_state in
   grand_total { b with controller }
 
-let total ctx d ~n_states =
-  let b = datapath ctx d in
+let or_transient = function
+  | Some c -> c
+  | None -> Hsyn_sched.Sched.Cache.create ~shards:1 ~prepared_capacity:64 ~profile_capacity:256 ()
+
+let datapath ?sched_cache ctx d = datapath_of_parts (or_transient sched_cache) ctx [ d ]
+
+let module_area ?sched_cache ctx rm = module_area_rec (or_transient sched_cache) ctx rm
+
+let total ?sched_cache ctx d ~n_states =
+  let b = datapath ?sched_cache ctx d in
   { b with controller = Float.of_int n_states *. ctx.Design.lib.Hsyn_modlib.Library.ctrl_area_per_state }
 
 let pp_breakdown fmt b =

@@ -33,16 +33,19 @@ type breakdown = {
 
 val grand_total : breakdown -> float
 
-val datapath : Design.ctx -> Design.t -> breakdown
+val datapath : ?sched_cache:Hsyn_sched.Sched.Cache.t -> Design.ctx -> Design.t -> breakdown
 (** Area of the design's datapath (controller field 0; add it with
     {!total} once the schedule length is known). Recurses into module
-    instances. *)
+    instances. Module controllers need module profiles, so a scheduler
+    cache can be supplied for memoization across calls; without one a
+    transient cache scoped to this call is used. *)
 
-val total : Design.ctx -> Design.t -> n_states:int -> breakdown
+val total :
+  ?sched_cache:Hsyn_sched.Sched.Cache.t -> Design.ctx -> Design.t -> n_states:int -> breakdown
 (** [datapath] plus the top-level controller ([n_states] is the
     schedule makespan). *)
 
-val module_area : Design.ctx -> Design.rtl_module -> float
+val module_area : ?sched_cache:Hsyn_sched.Sched.Cache.t -> Design.ctx -> Design.rtl_module -> float
 (** Area of one complex RTL module: shared units and registers,
     steering unioned over all behaviors, plus its internal controller
     (one state per cycle of each behavior's schedule). *)

@@ -62,13 +62,13 @@ let rec total_fu_cap (design : Design.t) =
           | (_, first) :: _ -> acc +. total_fu_cap first))
     0. design.Design.insts
 
-let rec energy_rec ~top ctx (cs : Sched.constraints) (design : Design.t) invocations =
+let rec energy_rec cache ~top ctx (cs : Sched.constraints) (design : Design.t) invocations =
   let lib = ctx.Design.lib in
   let dfg = design.Design.dfg in
   let n_samples = List.length invocations in
   if n_samples = 0 then 0.
   else begin
-    let sch = Sched.schedule ctx cs design in
+    let sch = Sched.schedule ~cache ctx cs design in
     let streams = Sim.run design invocations in
     let value_at s (p : Dfg.port) = streams.(s).(Design.value_index dfg p) in
     let total = ref 0. in
@@ -137,7 +137,7 @@ let rec energy_rec ~top ctx (cs : Sched.constraints) (design : Design.t) invocat
                       (List.init n_samples Fun.id)
                   in
                   let inner_cs = Sched.relaxed ~deadline:1_000_000 part.Design.dfg in
-                  let e = energy_rec ~top:false ctx inner_cs part inner_invocations in
+                  let e = energy_rec cache ~top:false ctx inner_cs part inner_invocations in
                   total := !total +. (e *. Float.of_int (List.length inner_invocations) /. Float.of_int n_samples))
                 by_behavior;
               (* module input port wiring *)
@@ -190,7 +190,12 @@ let rec energy_rec ~top ctx (cs : Sched.constraints) (design : Design.t) invocat
     !total /. Float.of_int n_samples
   end
 
-let energy_per_sample ctx cs design invocations = energy_rec ~top:true ctx cs design invocations
+let or_transient = function
+  | Some c -> c
+  | None -> Sched.Cache.create ~shards:1 ~prepared_capacity:64 ~profile_capacity:256 ()
+
+let energy_per_sample ?sched_cache ctx cs design invocations =
+  energy_rec (or_transient sched_cache) ~top:true ctx cs design invocations
 
 let energy_floor ctx (design : Design.t) ~makespan ~n_samples =
   if n_samples <= 0 then 0.
@@ -207,6 +212,6 @@ let energy_floor ctx (design : Design.t) ~makespan ~n_samples =
     /. Float.of_int n_samples
   end
 
-let power ctx cs design invocations ~sampling_ns =
-  let e = energy_per_sample ctx cs design invocations in
+let power ?sched_cache ctx cs design invocations ~sampling_ns =
+  let e = energy_per_sample ?sched_cache ctx cs design invocations in
   e *. Hsyn_modlib.Voltage.energy_factor ctx.Design.vdd /. sampling_ns *. 1000.

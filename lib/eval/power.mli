@@ -20,9 +20,17 @@ module Design = Hsyn_rtl.Design
 module Sched = Hsyn_sched.Sched
 
 val energy_per_sample :
-  Design.ctx -> Sched.constraints -> Design.t -> int array list -> float
+  ?sched_cache:Sched.Cache.t ->
+  Design.ctx ->
+  Sched.constraints ->
+  Design.t ->
+  int array list ->
+  float
 (** Average switched capacitance per design invocation over the given
-    trace (raw cap units, no voltage scaling). *)
+    trace (raw cap units, no voltage scaling). The simulation schedules
+    the design (and nested module parts, recursively); [?sched_cache]
+    memoizes that work across calls — without it a transient cache
+    scoped to this call is used. *)
 
 val energy_floor : Design.ctx -> Design.t -> makespan:int -> n_samples:int -> float
 (** Trace-independent lower bound on {!energy_per_sample} for a design
@@ -34,6 +42,12 @@ val energy_floor : Design.ctx -> Design.t -> makespan:int -> n_samples:int -> fl
     [n_samples <= 0] (the simulation then reports zero energy). *)
 
 val power :
-  Design.ctx -> Sched.constraints -> Design.t -> int array list -> sampling_ns:float -> float
+  ?sched_cache:Sched.Cache.t ->
+  Design.ctx ->
+  Sched.constraints ->
+  Design.t ->
+  int array list ->
+  sampling_ns:float ->
+  float
 (** [energy_per_sample · V²-factor / sampling period] — normalized
     power at the context's supply voltage. *)

@@ -272,6 +272,48 @@ let check_checkpoint_resume rng (prog : Text.program) =
       else fail "resumed %s <> uninterrupted %s" (pp_outcome resumed) (pp_outcome full))
 
 (* ------------------------------------------------------------------ *)
+(* session: a run on a shared, pre-warmed memoization session is      *)
+(* bit-identical to a run on a fresh one.                             *)
+
+let check_session rng (prog : Text.program) =
+  let seed = Rng.int rng 1_000_000 in
+  let* req = small_request ~seed prog in
+  let fresh = S.synthesize req in
+  (* warm the session with a full run, then synthesize the same request
+     again on it: every cache layer (prepared, profiles, cost entries —
+     including completed power simulations) is hot the second time *)
+  let session = Hsyn_core.Session.create () in
+  let with_session () =
+    S.Request.make ~config:req.S.Request.config ~session ~lib:Library.default
+      ~registry:prog.Text.registry ~dfg:req.S.Request.dfg ~objective:Cost.Power
+      ~sampling_ns:req.S.Request.sampling_ns ()
+  in
+  let* warmup_req = with_session () in
+  let (_ : (S.result, string) result) = S.synthesize warmup_req in
+  let cost_stats () =
+    (Hsyn_core.Session.stats session).Hsyn_core.Session.cost_tbl
+  in
+  let warm = cost_stats () in
+  let* shared_req = with_session () in
+  let shared = S.synthesize shared_req in
+  let rerun = cost_stats () in
+  let probes (s : Hsyn_util.Shard_tbl.stats) =
+    s.Hsyn_util.Shard_tbl.hits + s.Hsyn_util.Shard_tbl.misses
+  in
+  if not (same_outcome fresh shared) then
+    fail "shared session %s <> fresh session %s" (pp_outcome shared) (pp_outcome fresh)
+  else if
+    (* a rerun that probed the shared cache at all must hit it — the
+       warmup ran the identical trajectory; degenerate programs whose
+       sweep prunes every context legitimately probe zero times *)
+    probes rerun > probes warm
+    && rerun.Hsyn_util.Shard_tbl.hits = warm.Hsyn_util.Shard_tbl.hits
+  then
+    fail "warmed rerun probed the shared cost cache %d times without a hit"
+      (probes rerun - probes warm)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* jobs: results do not depend on the worker count, and the pool maps *)
 (* deterministically under exceptions.                                *)
 
@@ -415,6 +457,11 @@ let all =
       name = "checkpoint-resume";
       doc = "interrupted + resumed sweep ≡ uninterrupted sweep";
       check = check_checkpoint_resume;
+    };
+    {
+      name = "session";
+      doc = "synthesis on a shared pre-warmed session ≡ fresh session";
+      check = check_session;
     };
     { name = "jobs"; doc = "synthesis result independent of --jobs; pool exception discipline"; check = check_jobs };
     {

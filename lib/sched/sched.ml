@@ -2,6 +2,7 @@ module Dfg = Hsyn_dfg.Dfg
 module Design = Hsyn_rtl.Design
 module Fu = Hsyn_modlib.Fu
 module Pqueue = Hsyn_util.Pqueue
+module Shard_tbl = Hsyn_util.Shard_tbl
 module Span = Hsyn_obs.Trace
 
 type profile = { in_need : int array; out_ready : int array; busy : int }
@@ -143,8 +144,8 @@ let prepare = Prepared.build
 
 (* Prepared contexts are cached by the graph's physical identity:
    module parts and the top-level graph each get one context for the
-   lifetime of a synthesis run. FIFO-bounded so long-lived processes
-   that churn through many graphs cannot grow without bound. *)
+   lifetime of a synthesis run. Bounded so long-lived processes that
+   churn through many graphs cannot grow without bound. *)
 
 module Dfg_id = struct
   type t = Dfg.t
@@ -152,35 +153,6 @@ module Dfg_id = struct
   let equal = ( == )
   let hash (g : Dfg.t) = Hashtbl.hash (g.Dfg.name, Array.length g.Dfg.nodes)
 end
-
-module Dfg_tbl = Hashtbl.Make (Dfg_id)
-
-let prepared_cap = 256
-let prepared_cache : Prepared.t Dfg_tbl.t = Dfg_tbl.create 64
-let prepared_fifo : Dfg.t Queue.t = Queue.create ()
-let prepared_lock = Mutex.create ()
-
-let prepared_for dfg =
-  Mutex.lock prepared_lock;
-  match Dfg_tbl.find_opt prepared_cache dfg with
-  | Some p ->
-      Atomic.incr c_prep_hits;
-      Mutex.unlock prepared_lock;
-      p
-  | None ->
-      Mutex.unlock prepared_lock;
-      (* build outside the lock: contexts are pure functions of the
-         graph, so losing a concurrent-build race only recomputes *)
-      let p = Prepared.build dfg in
-      Mutex.lock prepared_lock;
-      if not (Dfg_tbl.mem prepared_cache dfg) then begin
-        Dfg_tbl.add prepared_cache dfg p;
-        Queue.add dfg prepared_fifo;
-        if Queue.length prepared_fifo > prepared_cap then
-          Dfg_tbl.remove prepared_cache (Queue.pop prepared_fifo)
-      end;
-      Mutex.unlock prepared_lock;
-      p
 
 (* ------------------------------------------------------------------ *)
 (* Job models.
@@ -232,16 +204,53 @@ module Profile_key = struct
     Hashtbl.hash (k.pk_rm.Design.rm_name, k.pk_legacy, k.pk_behavior, k.pk_vdd, k.pk_clk_ns)
 end
 
-module Profile_tbl = Hashtbl.Make (Profile_key)
+module Prep_tbl = Shard_tbl.Make (Dfg_id)
+module Prof_tbl = Shard_tbl.Make (Profile_key)
 
-let profile_cache : profile Profile_tbl.t = Profile_tbl.create 64
+(* A cache value owns both memo tables the scheduler keeps: prepared
+   contexts and module profiles. There is deliberately no global
+   instance — callers that want sharing (the evaluation engine, via
+   its session) pass one down; entry points called without a cache get
+   a transient single-shard instance scoped to that call, so recursive
+   profile computation is still memoized within the call but nothing
+   outlives it. Both tables are shared across domains; [find_or_build]
+   makes each key build exactly once even under concurrent lookups. *)
 
-(* The cache is shared by the evaluation engine's worker domains, so
-   every access must hold the lock. Profiles are pure functions of the
-   key: losing a concurrent-insert race only recomputes. *)
-let profile_lock = Mutex.create ()
+module Cache = struct
+  type t = { prepared : Prepared.t Prep_tbl.t; profiles : profile Prof_tbl.t }
 
-let rec module_profile_impl use_legacy ctx rm behavior =
+  type cache_stats = { prepared_tbl : Shard_tbl.stats; profile_tbl : Shard_tbl.stats }
+
+  let create ?(shards = 8) ?(prepared_capacity = 256) ?(profile_capacity = 1024) () =
+    {
+      prepared =
+        Prep_tbl.create ~shards ~eviction:Shard_tbl.Second_chance ~capacity:prepared_capacity ();
+      profiles =
+        Prof_tbl.create ~shards ~eviction:Shard_tbl.Second_chance ~capacity:profile_capacity ();
+    }
+
+  let stats t =
+    { prepared_tbl = Prep_tbl.stats t.prepared; profile_tbl = Prof_tbl.stats t.profiles }
+
+  let transient () = create ~shards:1 ~prepared_capacity:64 ~profile_capacity:256 ()
+end
+
+let or_transient = function Some c -> c | None -> Cache.transient ()
+
+let prepared_in (cache : Cache.t) dfg =
+  let built = ref false in
+  let p =
+    Prep_tbl.find_or_build cache.Cache.prepared dfg (fun dfg ->
+        built := true;
+        Prepared.build dfg)
+  in
+  if not !built then Atomic.incr c_prep_hits;
+  p
+
+let prepared_for ?cache dfg =
+  match cache with Some c -> prepared_in c dfg | None -> Prepared.build dfg
+
+let rec module_profile_impl cache use_legacy ctx rm behavior =
   let key =
     {
       pk_rm = rm;
@@ -251,24 +260,22 @@ let rec module_profile_impl use_legacy ctx rm behavior =
       pk_clk_ns = ctx.Design.clk_ns;
     }
   in
-  Mutex.lock profile_lock;
-  let hit = Profile_tbl.find_opt profile_cache key in
-  Mutex.unlock profile_lock;
-  match hit with
-  | Some p -> p
-  | None ->
-      let p = compute_module_profile use_legacy ctx rm behavior in
-      Mutex.lock profile_lock;
-      Profile_tbl.replace profile_cache key p;
-      Mutex.unlock profile_lock;
-      p
+  (* profiles are pure functions of the key; the builder recurses into
+     this same cache for nested modules (always under different keys,
+     the call graph is acyclic), which [find_or_build] permits because
+     builders run outside the shard lock *)
+  Prof_tbl.find_or_build cache.Cache.profiles key (fun _ ->
+      compute_module_profile cache use_legacy ctx rm behavior)
 
-and compute_module_profile use_legacy ctx rm behavior =
+and compute_module_profile cache use_legacy ctx rm behavior =
   let part = Design.module_part rm behavior in
   let dfg = part.Design.dfg in
   let cs = relaxed ~deadline:infinite_deadline dfg in
-  let prep = prepared_for dfg in
-  let sch = if use_legacy then schedule_legacy ctx cs part else schedule_event prep ctx cs part in
+  let prep = prepared_in cache dfg in
+  let sch =
+    if use_legacy then schedule_legacy_rec cache ctx cs part
+    else schedule_event cache prep ctx cs part
+  in
   let in_need =
     Array.map
       (fun input_id ->
@@ -296,7 +303,7 @@ and compute_module_profile use_legacy ctx rm behavior =
 (* ------------------------------------------------------------------ *)
 (* Event kernel *)
 
-and build_jobs_event (p : Prepared.t) ctx (d : Design.t) =
+and build_jobs_event cache (p : Prepared.t) ctx (d : Design.t) =
   let dfg = d.Design.dfg in
   (* bucket nodes by instance in one sweep (ascending per instance) *)
   let inst_nodes = Array.make (Array.length d.Design.insts) [] in
@@ -359,7 +366,7 @@ and build_jobs_event (p : Prepared.t) ctx (d : Design.t) =
                 | Dfg.Call b -> b
                 | _ -> invalid_arg "Sched: non-call node on module instance"
               in
-              let prof = module_profile_impl false ctx rm behavior in
+              let prof = module_profile_impl cache false ctx rm behavior in
               let members = [| id |] in
               add_job
                 {
@@ -376,11 +383,11 @@ and build_jobs_event (p : Prepared.t) ctx (d : Design.t) =
     d.Design.insts;
   Array.of_list (List.rev !jobs)
 
-and schedule_event (p : Prepared.t) ctx (cs : constraints) (d : Design.t) =
+and schedule_event cache (p : Prepared.t) ctx (cs : constraints) (d : Design.t) =
   let dfg = d.Design.dfg in
   let n_nodes = p.Prepared.n_nodes in
   let nv = p.Prepared.n_values in
-  let jobs = build_jobs_event p ctx d in
+  let jobs = build_jobs_event cache p ctx d in
   let n_jobs = Array.length jobs in
   let job_of_node = Array.make n_nodes (-1) in
   Array.iteri (fun j job -> Array.iter (fun id -> job_of_node.(id) <- j) job.e_members) jobs;
@@ -671,7 +678,7 @@ and schedule_event (p : Prepared.t) ctx (cs : constraints) (d : Design.t) =
    verbatim as the reference for HSYN_SCHED=legacy differential
    testing. *)
 
-and build_jobs_legacy ctx (d : Design.t) =
+and build_jobs_legacy cache ctx (d : Design.t) =
   let dfg = d.Design.dfg in
   let jobs = ref [] in
   let add_job j = jobs := j :: !jobs in
@@ -723,7 +730,7 @@ and build_jobs_legacy ctx (d : Design.t) =
                 | Dfg.Call b -> b
                 | _ -> invalid_arg "Sched: non-call node on module instance"
               in
-              let p = module_profile_impl true ctx rm behavior in
+              let p = module_profile_impl cache true ctx rm behavior in
               add_job
                 {
                   members = [ id ];
@@ -738,11 +745,11 @@ and build_jobs_legacy ctx (d : Design.t) =
     d.Design.insts;
   Array.of_list (List.rev !jobs)
 
-and schedule_legacy ctx (cs : constraints) (d : Design.t) =
+and schedule_legacy_rec cache ctx (cs : constraints) (d : Design.t) =
   let dfg = d.Design.dfg in
   let n_nodes = Array.length dfg.Dfg.nodes in
   let nv = Design.n_values dfg in
-  let jobs = build_jobs_legacy ctx d in
+  let jobs = build_jobs_legacy cache ctx d in
   let n_jobs = Array.length jobs in
   let job_of_node = Array.make n_nodes (-1) in
   Array.iteri (fun j job -> List.iter (fun id -> job_of_node.(id) <- j) job.members) jobs;
@@ -975,29 +982,34 @@ and schedule_legacy ctx (cs : constraints) (d : Design.t) =
 (* ------------------------------------------------------------------ *)
 (* Public entry points *)
 
-let module_profile ctx rm behavior =
-  module_profile_impl (Atomic.get impl_ref = Legacy) ctx rm behavior
+let module_profile ?cache ctx rm behavior =
+  module_profile_impl (or_transient cache) (Atomic.get impl_ref = Legacy) ctx rm behavior
 
-let schedule ?prepared ctx (cs : constraints) (d : Design.t) =
+let schedule_legacy ?cache ctx (cs : constraints) (d : Design.t) =
+  schedule_legacy_rec (or_transient cache) ctx cs d
+
+let schedule ?cache ?prepared ctx (cs : constraints) (d : Design.t) =
   Span.span Span.Schedule "schedule" (fun () ->
       match Atomic.get impl_ref with
-      | Legacy -> schedule_legacy ctx cs d
+      | Legacy -> schedule_legacy_rec (or_transient cache) ctx cs d
       | Event ->
+          let cache = or_transient cache in
           let p =
             match prepared with
             | Some p when Prepared.dfg p == d.Design.dfg -> p
-            | _ -> prepared_for d.Design.dfg
+            | _ -> prepared_in cache d.Design.dfg
           in
-          schedule_event p ctx cs d)
+          schedule_event cache p ctx cs d)
 
 (* ------------------------------------------------------------------ *)
 (* ALAP (infinite resources) *)
 
-let alap_start ctx ~deadline (d : Design.t) =
+let alap_start ?cache ctx ~deadline (d : Design.t) =
+  let cache = or_transient cache in
   let dfg = d.Design.dfg in
-  let p = prepared_for dfg in
+  let p = prepared_in cache dfg in
   let n_nodes = p.Prepared.n_nodes in
-  let jobs = build_jobs_event p ctx d in
+  let jobs = build_jobs_event cache p ctx d in
   let n_jobs = Array.length jobs in
   let job_of_node = Array.make n_nodes (-1) in
   Array.iteri (fun j job -> Array.iter (fun id -> job_of_node.(id) <- j) job.e_members) jobs;

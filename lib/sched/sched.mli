@@ -76,17 +76,47 @@ end
 val prepare : Dfg.t -> Prepared.t
 (** Build a context (uncached). *)
 
-val prepared_for : Dfg.t -> Prepared.t
-(** Memoized {!prepare}, keyed by the graph's physical identity
-    (FIFO-bounded). Domain-safe. *)
+(** {1 Memoization caches}
 
-val module_profile : Design.ctx -> Design.rtl_module -> string -> profile
+    The scheduler keeps no global mutable cache state. All memoization
+    — prepared contexts keyed by graph physical identity, module
+    profiles keyed by (module, kernel, behavior, vdd, clock) — lives in
+    an explicit {!Cache.t} owned by the caller (in practice a
+    synthesis session, see [Hsyn_core.Session]) and passed to every
+    entry point. Entry points called without a cache allocate a
+    transient one scoped to that call: recursive profile computation is
+    still memoized within the call, but nothing persists or is shared.
+
+    Caches are domain-safe (sharded, per-shard locking) and each key is
+    built exactly once per residency even under concurrent lookups. *)
+
+module Cache : sig
+  type t
+
+  type cache_stats = {
+    prepared_tbl : Hsyn_util.Shard_tbl.stats;
+    profile_tbl : Hsyn_util.Shard_tbl.stats;
+  }
+
+  val create : ?shards:int -> ?prepared_capacity:int -> ?profile_capacity:int -> unit -> t
+  (** Defaults: 8 shards per table, 256 prepared contexts, 1024
+      profiles; both tables use second-chance (clock) eviction. *)
+
+  val stats : t -> cache_stats
+end
+
+val prepared_for : ?cache:Cache.t -> Dfg.t -> Prepared.t
+(** Memoized {!prepare} in the given cache, keyed by the graph's
+    physical identity. Without a cache this is just {!prepare}. *)
+
+val module_profile : ?cache:Cache.t -> Design.ctx -> Design.rtl_module -> string -> profile
 (** Profile of a module for one behavior, derived by scheduling the
     corresponding part with all inputs at 0 (recursively through
     nested modules). Memoized per (module, kernel, behavior, vdd,
-    clock); domain-safe. *)
+    clock) in the given cache; domain-safe. *)
 
-val schedule : ?prepared:Prepared.t -> Design.ctx -> constraints -> Design.t -> schedule
+val schedule :
+  ?cache:Cache.t -> ?prepared:Prepared.t -> Design.ctx -> constraints -> Design.t -> schedule
 (** List-schedule the design. Always returns a schedule; check
     [feasible] for constraint satisfaction. [?prepared] supplies a
     reusable context; it is ignored (and looked up/rebuilt) unless it
@@ -94,7 +124,7 @@ val schedule : ?prepared:Prepared.t -> Design.ctx -> constraints -> Design.t -> 
     @raise Invalid_argument if the binding is structurally unusable
     (e.g. an unbound operation). *)
 
-val schedule_legacy : Design.ctx -> constraints -> Design.t -> schedule
+val schedule_legacy : ?cache:Cache.t -> Design.ctx -> constraints -> Design.t -> schedule
 (** The original time-stepped kernel, regardless of {!impl}. Reference
     implementation for differential tests. *)
 
@@ -120,7 +150,7 @@ val sub_stats : stats -> stats -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
 
-val alap_start : Design.ctx -> deadline:int -> Design.t -> int array
+val alap_start : ?cache:Cache.t -> Design.ctx -> deadline:int -> Design.t -> int array
 (** Latest start time of each node under infinite resources — an
     optimistic slack bound used to derive relaxed constraints for
     moves of type B; moves are re-validated by {!schedule}. [-1]
