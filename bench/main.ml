@@ -67,6 +67,17 @@ let header name title =
 
 let policy = { Engine.default_policy with Engine.jobs }
 
+(* [Request.make] + [synthesize], raising on error like the retired
+   [S.run]/[S.run_flat] shims — bench sections have no error channel. *)
+let synthesize ?(flatten = false) ?session ~config ~lib registry dfg objective ~sampling_ns () =
+  match
+    Result.bind
+      (S.Request.make ~config ~flatten ?session ~lib ~registry ~dfg ~objective ~sampling_ns ())
+      S.synthesize
+  with
+  | Ok r -> r
+  | Error msg -> failwith ("synthesis failed: " ^ msg)
+
 let config =
   if quick then
     {
@@ -140,7 +151,7 @@ let figure_1 () =
   Text.print_dfg buf b.Suite.dfg;
   print_string (Buffer.contents buf);
   let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
-  let r = S.run ~config ~lib b.Suite.registry b.Suite.dfg Cost.Area ~sampling_ns:(1.2 *. min_ns) in
+  let r = synthesize ~config ~lib b.Suite.registry b.Suite.dfg Cost.Area ~sampling_ns:(1.2 *. min_ns) () in
   let cs = Sched.relaxed ~deadline:r.S.deadline_cycles r.S.design.Design.dfg in
   let sch = Sched.schedule r.S.ctx cs r.S.design in
   Format.printf "%a@." Sched.pp_schedule (r.S.design, sch);
@@ -256,12 +267,12 @@ type cell = {
 let run_cell (b : Suite.t) lf =
   let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
   let sampling_ns = lf *. min_ns in
-  let fa = S.run_flat ~config ~lib b.Suite.registry b.Suite.dfg Cost.Area ~sampling_ns in
+  let fa = synthesize ~flatten:true ~config ~lib b.Suite.registry b.Suite.dfg Cost.Area ~sampling_ns () in
   let fa_sc = S.rescale_vdd ~config fa Voltage.candidates in
-  let fp = S.run_flat ~config ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns in
-  let ha = S.run ~config ~lib b.Suite.registry b.Suite.dfg Cost.Area ~sampling_ns in
+  let fp = synthesize ~flatten:true ~config ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns () in
+  let ha = synthesize ~config ~lib b.Suite.registry b.Suite.dfg Cost.Area ~sampling_ns () in
   let ha_sc = S.rescale_vdd ~config ha Voltage.candidates in
-  let hp = S.run ~config ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns in
+  let hp = synthesize ~config ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns () in
   {
     bench = b.Suite.name;
     lf;
@@ -446,7 +457,7 @@ let ablation () =
       let case = Printf.sprintf "%s/%s/%.1f" b.Suite.name (Cost.objective_name objective) lf in
       List.iter
         (fun (tag, cfg) ->
-          match S.run ~config:cfg ~lib b.Suite.registry b.Suite.dfg objective ~sampling_ns with
+          match synthesize ~config:cfg ~lib b.Suite.registry b.Suite.dfg objective ~sampling_ns () with
           | r ->
               let count prefix =
                 List.length
@@ -796,7 +807,7 @@ let obs_section () =
   let sampling_ns = 2.2 *. min_ns in
   let repeats = if quick then 1 else 3 in
   let run () =
-    S.run ~config ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns
+    synthesize ~config ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns ()
   in
   let timed () = List.init repeats (fun _ -> let r = run () in (r, r.S.elapsed_s)) in
   let off () =
@@ -928,6 +939,191 @@ let obs_section () =
   assert within_budget
 
 (* ------------------------------------------------------------------ *)
+(* hsyn serve under load: an in-process daemon on a temp Unix socket,
+   a mixed request stream (suite benchmarks + fuzz-generated programs)
+   pushed by concurrent client domains, throughput and p90 latency
+   reported, and every served final line checked bit-identical
+   (modulo elapsed_s) to a solo in-process run of the same document.
+   CI greps BENCH_serve.json for "ok":true and keeps
+   serve.metrics.json as the scrape-endpoint artifact. *)
+
+let serve_section () =
+  header "serve" "Multi-tenant daemon load generation (hsyn serve)";
+  let module Serve = Hsyn_serve.Serve in
+  let module Wire = Hsyn_core.Wire in
+  let module Gen = Hsyn_fuzz.Gen in
+  let n_clients = 4 in
+  let serve_cfg =
+    { Serve.default_config with Serve.max_inflight = 2; max_queue = 16; retry_after_s = 0.2 }
+  in
+  (* request mix: the two cheap suite benchmarks under both objectives,
+     plus fuzz-generated programs shipped inline as textual DFGs *)
+  let docs =
+    let bench name objective =
+      ( Printf.sprintf "%s/%s" name (Cost.objective_name objective),
+        Wire.make_doc ~objective ~timing:(Wire.Laxity 2.2) ~config (Wire.Bench name) )
+    in
+    let fuzz seed objective =
+      let text = Text.to_string (Gen.program (Rng.create seed)) in
+      ( Printf.sprintf "fuzz-%d/%s" seed (Cost.objective_name objective),
+        Wire.make_doc ~objective ~timing:(Wire.Laxity 2.2) ~config
+          (Wire.Program { text; graph = None }) )
+    in
+    Array.of_list
+      [
+        bench "test1" Cost.Area;
+        bench "test1" Cost.Power;
+        bench "paulin" Cost.Area;
+        bench "paulin" Cost.Power;
+        fuzz 11 Cost.Area;
+        fuzz 12 Cost.Power;
+        fuzz 13 Cost.Area;
+        fuzz 14 Cost.Power;
+        fuzz 15 Cost.Area;
+        fuzz 16 Cost.Power;
+      ]
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hsyn-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    match Serve.create ~config:serve_cfg (Serve.Unix_socket sock) with
+    | Ok s -> s
+    | Error msg -> failwith ("serve: " ^ msg)
+  in
+  let addr = Serve.address server in
+  let server_domain = Domain.spawn (fun () -> Serve.run server) in
+  Printf.printf "  %d requests, %d client domains, %d workers, queue %d ...\n%!"
+    (Array.length docs) n_clients serve_cfg.Serve.max_inflight serve_cfg.Serve.max_queue;
+  (* one load-generator domain per client: grab the next un-served doc,
+     send it, retry on a typed overload reject after its hint *)
+  let next = Atomic.make 0 in
+  let final_code line =
+    match Json.of_string line with
+    | Error _ -> None
+    | Ok j -> (
+        match Option.bind (Json.member "kind" j) Json.to_string_opt with
+        | Some "hsyn.result" -> Some "result"
+        | Some "hsyn.error" -> Option.bind (Json.member "code" j) Json.to_string_opt
+        | _ -> None)
+  in
+  let rec send_doc attempts doc =
+    match Serve.Client.request ~timeout_s:300. addr doc with
+    | Error msg -> Error msg
+    | Ok [] -> Error "empty response"
+    | Ok lines -> (
+        let final = List.nth lines (List.length lines - 1) in
+        match final_code final with
+        | Some "overloaded" when attempts < 50 ->
+            Unix.sleepf serve_cfg.Serve.retry_after_s;
+            send_doc (attempts + 1) doc
+        | _ -> Ok (final, List.length lines - 1, attempts))
+  in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.init n_clients (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop acc =
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= Array.length docs then acc
+              else
+                let _, doc = docs.(i) in
+                let c0 = Unix.gettimeofday () in
+                let outcome = send_doc 0 doc in
+                let ms = 1000. *. (Unix.gettimeofday () -. c0) in
+                loop ((i, outcome, ms) :: acc)
+            in
+            loop []))
+  in
+  let served = List.concat_map Domain.join clients in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let metrics_line =
+    match Serve.Client.metrics addr with Ok l -> l | Error msg -> failwith ("metrics: " ^ msg)
+  in
+  Serve.stop server;
+  Domain.join server_domain;
+  let stats = Serve.stats server in
+  (* identity: the served final line must match a solo in-process run
+     of the same document, byte for byte once elapsed_s is nulled *)
+  let t =
+    Table.create ~header:[ "request"; "events"; "latency (ms)"; "retries"; "final"; "solo-identical" ]
+  in
+  let all_ok = ref true in
+  let latencies = ref [] in
+  List.iter
+    (fun (i, outcome, ms) ->
+      let name, doc = docs.(i) in
+      latencies := ms :: !latencies;
+      match outcome with
+      | Error msg ->
+          all_ok := false;
+          Table.add_row t [ name; "-"; Printf.sprintf "%.1f" ms; "-"; "IO error: " ^ msg; "NO" ]
+      | Ok (final, events, retries) ->
+          let ok_final = final_code final = Some "result" in
+          let identical =
+            ok_final
+            && Serve.canonical_final final
+               = Serve.canonical_final (Serve.solo_final serve_cfg doc)
+          in
+          all_ok := !all_ok && ok_final && identical;
+          Table.add_row t
+            [
+              name;
+              string_of_int events;
+              Printf.sprintf "%.1f" ms;
+              string_of_int retries;
+              (match final_code final with Some c -> c | None -> "???");
+              (if identical then "yes" else "NO");
+            ])
+    (List.sort compare served);
+  Table.print t;
+  let n = List.length served in
+  let rps = Float.of_int n /. Float.max 1e-9 wall_s in
+  let p90_ms = Stats.percentile 90. !latencies in
+  let drained =
+    stats.Serve.in_flight = 0 && stats.Serve.queued = 0
+    && stats.Serve.completed + stats.Serve.errors >= n
+  in
+  let ok = !all_ok && n = Array.length docs && drained in
+  Printf.printf "  %d requests in %.2fs: %.2f req/s, p90 latency %.1f ms\n" n wall_s rps p90_ms;
+  Printf.printf "  server: accepted %d, completed %d, rejected %d, errors %d\n" stats.Serve.accepted
+    stats.Serve.completed stats.Serve.rejected stats.Serve.errors;
+  let json =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ("ok", Json.Bool ok);
+        ("requests", Json.Int n);
+        ("clients", Json.Int n_clients);
+        ("workers", Json.Int serve_cfg.Serve.max_inflight);
+        ("wall_s", Json.Float wall_s);
+        ("rps", Json.Float rps);
+        ("p90_ms", Json.Float p90_ms);
+        ("accepted", Json.Int stats.Serve.accepted);
+        ("completed", Json.Int stats.Serve.completed);
+        ("rejected", Json.Int stats.Serve.rejected);
+        ("errors", Json.Int stats.Serve.errors);
+      ]
+  in
+  let line = Json.to_string json in
+  Printf.printf "serve-json: %s\n" line;
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  let oc = open_out "serve.metrics.json" in
+  output_string oc metrics_line;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  (written to BENCH_serve.json; metrics snapshot in serve.metrics.json)\n";
+  Printf.printf
+    "Reading: every request rides the daemon's shared session, yet each served final line\n\
+     is byte-identical (modulo the elapsed_s / stats observability fields) to a solo run\n\
+     of the same JSON document — multi-tenancy changes who computed a value (cache hits,\n\
+     wall clocks), never the value.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the synthesis kernels *)
 
 let micro () =
@@ -967,8 +1163,8 @@ let micro () =
         (Staged.stage (fun () -> Flatten.flatten b.Suite.registry b.Suite.dfg));
       Test.make ~name:"table4.full-hier-synthesis"
         (Staged.stage (fun () ->
-             S.run ~config:quick_cfg ~lib b.Suite.registry b.Suite.dfg Cost.Area
-               ~sampling_ns:(2.2 *. min_ns)));
+             synthesize ~config:quick_cfg ~lib b.Suite.registry b.Suite.dfg Cost.Area
+               ~sampling_ns:(2.2 *. min_ns) ()));
       Test.make ~name:"table3.critical-path"
         (Staged.stage (fun () -> Sched.critical_path_ns lib flat));
     ]
@@ -1007,5 +1203,6 @@ let () =
   if section "session" then session_section ();
   if section "sched" then sched_section ();
   if section "obs" then obs_section ();
+  if section "serve" then serve_section ();
   if (not no_micro) && section "micro" then micro ();
   Printf.printf "\ndone.\n"

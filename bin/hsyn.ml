@@ -25,6 +25,8 @@ module Session = Hsyn_core.Session
 module Budget = Hsyn_core.Budget
 module Events = Hsyn_core.Events
 module S = Hsyn_core.Synthesize
+module Wire = Hsyn_core.Wire
+module Serve = Hsyn_serve.Serve
 module Suite = Hsyn_benchmarks.Suite
 module Json = Hsyn_util.Json
 module Metrics = Hsyn_obs.Metrics
@@ -67,8 +69,42 @@ let load_input bench file dfg_name =
   | Some _, Some _ -> Error "pass either --bench or --file, not both"
   | None, None -> Error "one of --bench or --file is required"
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 (* ------------------------------------------------------------------ *)
 (* synth *)
+
+(* Benchmark-name resolution shared by [synth], [--dump-request] and
+   the [serve] daemon — one lookup, so a dumped request document served
+   later resolves to the very same problem. *)
+let resolve_bench name =
+  Option.map (fun b -> (b.Suite.registry, b.Suite.dfg)) (Suite.by_name name)
+
+(* The [-b]/-​-file flags name one or more request sources; everything
+   else about a [synth] invocation (objective, timing, config, budget)
+   is carried by the same [Wire.doc] a [serve] client would send. *)
+let load_sources bench file dfg_name =
+  match (bench, file) with
+  | Some names, None -> (
+      let names =
+        String.split_on_char ',' names |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      let missing = List.filter (fun n -> Suite.by_name n = None) names in
+      match (missing, names) with
+      | name :: _, _ -> Error (Printf.sprintf "unknown benchmark %S (try 'hsyn list')" name)
+      | [], [] -> Error "empty benchmark list"
+      | [], names -> Ok (List.map (fun n -> Wire.Bench n) names))
+  | None, Some path -> (
+      match read_file path with
+      | text -> Ok [ Wire.Program { text; graph = dfg_name } ]
+      | exception Sys_error msg -> Error msg)
+  | Some _, Some _ -> Error "pass either --bench or --file, not both"
+  | None, None -> Error "one of --bench or --file is required"
 
 (* Compose the CLI's progress/NDJSON observers into one event sink.
    Progress goes to stderr so --json output stays machine-clean. The
@@ -109,40 +145,20 @@ let write_json_file path v =
       output_string oc (Json.to_string v);
       output_char oc '\n')
 
-let synth_one ~session ~registry ~dfg objective lf sampling mode seed jobs budget_s max_contexts
-    progress events_json trace_out metrics_out checkpoint resume json show_stats profile
-    show_rtl show_fsm show_sched show_verilog =
+let synth_one ~session ~doc progress events_json trace_out metrics_out checkpoint resume json
+    show_stats profile show_rtl show_fsm show_sched show_verilog =
   (
       let lib = Library.default in
-      let objective =
-        match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
-      in
-      let min_ns = S.min_sampling_ns lib registry dfg in
-      let sampling_ns = match sampling with Some ns -> ns | None -> lf *. min_ns in
-      let policy =
-        match jobs with
-        | Some j -> { Engine.default_policy with Engine.jobs = max 1 j }
-        | None -> Engine.default_policy
-      in
-      let config =
-        {
-          S.default_config with
-          S.seed;
-          engine = policy;
-          clib_effort = { Clib.default_effort with Clib.engine = policy };
-        }
-      in
-      let request =
-        Result.bind (Budget.make ?deadline_s:budget_s ?max_contexts ()) (fun budget ->
-            S.Request.make ~config ~budget
-              ~flatten:(mode = "flat")
-              ~session ~lib ~registry ~dfg ~objective ~sampling_ns ())
-      in
-      match request with
+      match Wire.to_request ~session ~resolve_bench ~lib doc with
       | Error msg ->
           prerr_endline ("hsyn: " ^ msg);
           1
       | Ok req -> (
+          let registry = req.S.Request.registry and dfg = req.S.Request.dfg in
+          let objective = req.S.Request.objective in
+          let sampling_ns = req.S.Request.sampling_ns in
+          let min_ns = S.min_sampling_ns lib registry dfg in
+          let policy = req.S.Request.config.S.engine in
           if not json then begin
             Printf.printf
               "behavior %s: %d operations after flattening, minimum sampling %.1f ns\n"
@@ -232,14 +248,47 @@ let synth_one ~session ~registry ~dfg objective lf sampling mode seed jobs budge
               if show_verilog then print_string (Hsyn_eval.Netlist.emit r.S.ctx r.S.design sch);
               0))
 
+(* Flags -> [Wire.doc]s: the CLI front-end builds the same request
+   documents a [serve] client sends, then resolves them through the
+   same [Wire.to_request]. [--dump-request] prints them instead. *)
+let make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts =
+  Result.bind (load_sources bench file dfg_name) (fun sources ->
+      let objective =
+        match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
+      in
+      let timing =
+        match sampling with Some ns -> Wire.Sampling_ns ns | None -> Wire.Laxity lf
+      in
+      let policy =
+        match jobs with
+        | Some j -> { Engine.default_policy with Engine.jobs = max 1 j }
+        | None -> Engine.default_policy
+      in
+      let config =
+        {
+          S.default_config with
+          S.seed;
+          engine = policy;
+          clib_effort = { Clib.default_effort with Clib.engine = policy };
+        }
+      in
+      Result.bind (Budget.make ?deadline_s:budget_s ?max_contexts ()) (fun budget ->
+          Ok
+            (List.map
+               (Wire.make_doc ~objective ~timing ~flatten:(mode = "flat") ~config ~budget)
+               sources)))
+
 let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
-    share_session progress events_json trace_out metrics_out checkpoint resume json show_stats
-    profile show_rtl show_fsm show_sched show_verilog =
-  match load_input bench file dfg_name with
+    share_session dump_request progress events_json trace_out metrics_out checkpoint resume json
+    show_stats profile show_rtl show_fsm show_sched show_verilog =
+  match make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
       1
-  | Ok inputs ->
+  | Ok docs when dump_request ->
+      List.iter (fun d -> print_endline (Json.to_string (Wire.doc_to_json d))) docs;
+      0
+  | Ok docs ->
       if profile then Trace.set_profile true;
       if trace_out <> None then Trace.set_enabled true;
       if metrics_out <> None || trace_out <> None then Metrics.set_enabled true;
@@ -248,15 +297,14 @@ let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s m
          either way — sharing only skips repeated work) *)
       let shared = if share_session then Some (Session.create ()) else None in
       List.fold_left
-        (fun acc (registry, dfg) ->
+        (fun acc doc ->
           let session = match shared with Some s -> s | None -> Session.create () in
           let code =
-            synth_one ~session ~registry ~dfg objective lf sampling mode seed jobs budget_s
-              max_contexts progress events_json trace_out metrics_out checkpoint resume json
-              show_stats profile show_rtl show_fsm show_sched show_verilog
+            synth_one ~session ~doc progress events_json trace_out metrics_out checkpoint resume
+              json show_stats profile show_rtl show_fsm show_sched show_verilog
           in
           max acc code)
-        0 inputs
+        0 docs
 
 let bench_arg =
   Arg.(
@@ -320,6 +368,15 @@ let share_session_flag =
           "Share one memoization session (scheduler and cost caches) across all designs of a \
            comma-separated $(b,-b) list. Results are bit-identical with or without sharing; \
            sharing only skips repeated work. $(b,--stats) then reports cumulative totals.")
+
+let dump_request_flag =
+  Arg.(
+    value & flag
+    & info [ "dump-request" ]
+        ~doc:
+          "Print the invocation as $(b,hsyn serve) request document(s) — one NDJSON line per \
+           design — instead of synthesizing. Piping such a line to a running daemon's socket \
+           reproduces the run.")
 
 let progress_flag =
   Arg.(
@@ -399,17 +456,12 @@ let synth_cmd =
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
       $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ share_session_flag
-      $ progress_flag $ events_json_arg $ trace_arg $ metrics_arg $ checkpoint_arg $ resume_flag
-      $ json_flag $ stats_flag $ profile_flag $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
+      $ dump_request_flag $ progress_flag $ events_json_arg $ trace_arg $ metrics_arg
+      $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag $ profile_flag $ rtl_flag
+      $ fsm_flag $ sched_flag $ verilog_flag)
 
 (* ------------------------------------------------------------------ *)
 (* report *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 let do_report events_path trace_path json_out =
   let fail msg =
@@ -639,9 +691,141 @@ let fuzz_cmd =
       const do_fuzz $ fuzz_seed_arg $ fuzz_runs_arg $ fuzz_oracle_arg $ fuzz_corpus_arg
       $ metrics_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "--tcp %S: expected HOST:PORT" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Ok (Serve.Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error (Printf.sprintf "--tcp %S: bad port %S" spec port))
+
+let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s =
+  let addr =
+    match (socket, tcp) with
+    | Some path, None -> Ok (Serve.Unix_socket path)
+    | None, Some spec -> parse_tcp spec
+    | Some _, Some _ -> Error "pass either --socket or --tcp, not both"
+    | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
+  in
+  match addr with
+  | Error msg ->
+      prerr_endline ("hsyn: " ^ msg);
+      1
+  | Ok addr -> (
+      let config =
+        {
+          Serve.default_config with
+          Serve.max_inflight = max 1 max_inflight;
+          max_queue = max 0 max_queue;
+          max_request_s;
+          retry_after_s;
+        }
+      in
+      match Serve.create ~config addr with
+      | Error msg ->
+          prerr_endline ("hsyn: serve: " ^ msg);
+          1
+      | Ok srv ->
+          (* first Ctrl-C drains (finish queued + in-flight, then exit);
+             second cancels the in-flight runs' budgets; third kills *)
+          let sigints = ref 0 in
+          let on_sigint _ =
+            incr sigints;
+            match !sigints with
+            | 1 -> Serve.stop srv
+            | 2 -> Serve.cancel_inflight srv
+            | _ -> exit 130
+          in
+          let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_sigint) in
+          let prev_term =
+            try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Serve.stop srv)))
+            with Invalid_argument _ | Sys_error _ -> None
+          in
+          Format.eprintf "hsyn serve: listening on %a (workers %d, queue %d)@." Serve.pp_address
+            (Serve.address srv) config.Serve.max_inflight config.Serve.max_queue;
+          Serve.run srv;
+          Sys.set_signal Sys.sigint prev_int;
+          Option.iter (Sys.set_signal Sys.sigterm) prev_term;
+          let st = Serve.stats srv in
+          Format.eprintf
+            "hsyn serve: drained — %d accepted, %d completed, %d rejected, %d errors@."
+            st.Serve.accepted st.Serve.completed st.Serve.rejected st.Serve.errors;
+          0)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen on a TCP socket (port 0 picks a free port).")
+
+let max_inflight_arg =
+  Arg.(
+    value & opt int Serve.default_config.Serve.max_inflight
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"Worker domains — requests synthesizing concurrently (they share one session).")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int Serve.default_config.Serve.max_queue
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Accepted connections allowed to wait for a worker; beyond $(b,--max-inflight) + \
+           $(docv) load, requests are rejected immediately with a typed overloaded error and a \
+           retry-after hint.")
+
+let max_request_s_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-request-s" ] ~docv:"SECONDS"
+        ~doc:
+          "Clamp every request's budget deadline to at most $(docv) of wall clock (requests \
+           keep their own tighter deadlines and quotas).")
+
+let retry_after_arg =
+  Arg.(
+    value & opt float Serve.default_config.Serve.retry_after_s
+    & info [ "retry-after" ] ~docv:"SECONDS"
+        ~doc:"The retry-after hint carried by overload rejections.")
+
+let serve_cmd =
+  let doc = "run the multi-tenant synthesis daemon (NDJSON over a Unix/TCP socket)" in
+  let man =
+    [
+      `S Cmdliner.Manpage.s_description;
+      `P
+        "Speaks one request per connection: the client sends a single request document (the \
+         format printed by $(b,hsyn synth --dump-request)), then reads progress-event lines \
+         followed by one final line — the same versioned result JSON $(b,hsyn synth --json) \
+         prints, or a typed error object. A $(b,{\"kind\":\"hsyn.metrics\"}) request returns a \
+         metrics snapshot instead. All requests share one memoization session, so tenants \
+         synthesizing similar designs warm each other's caches without changing any result.";
+      `P "Quick start:";
+      `Pre
+        "  hsyn serve --socket /tmp/hsyn.sock &\n\
+        \  hsyn synth -b dct --max-contexts 2 --dump-request \\\n\
+        \    | nc -U /tmp/hsyn.sock";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const do_serve $ socket_arg $ tcp_arg $ max_inflight_arg $ max_queue_arg
+      $ max_request_s_arg $ retry_after_arg)
+
 let main =
   let doc = "hierarchical behavioral synthesis of power- and area-optimized circuits" in
   Cmd.group (Cmd.info "hsyn" ~version:"1.0.0" ~doc)
-    [ synth_cmd; report_cmd; list_cmd; library_cmd; dump_cmd; fuzz_cmd ]
+    [ synth_cmd; report_cmd; list_cmd; library_cmd; dump_cmd; fuzz_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -78,7 +78,16 @@ let () =
   Printf.printf "minimum sampling period with the custom library: %.1f ns\n" min_ns;
   List.iter
     (fun objective ->
-      let r = S.run ~lib:custom_lib registry dfg objective ~sampling_ns:(2.5 *. min_ns) in
+      let r =
+        match
+          Result.bind
+            (S.Request.make ~lib:custom_lib ~registry ~dfg ~objective
+               ~sampling_ns:(2.5 *. min_ns) ())
+            S.synthesize
+        with
+        | Ok r -> r
+        | Error msg -> failwith msg
+      in
       Printf.printf "%s-optimized: V_dd=%.1f clk=%.1fns area=%.1f power=%.3f\n"
         (Cost.objective_name objective) r.S.ctx.Design.vdd r.S.ctx.Design.clk_ns
         r.S.eval.Cost.area r.S.eval.Cost.power;

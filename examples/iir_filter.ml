@@ -38,8 +38,18 @@ let () =
   List.iter
     (fun lf ->
       let sampling_ns = lf *. min_ns in
-      let hier = S.run ~config ~lib registry dfg Cost.Power ~sampling_ns in
-      let flat = S.run_flat ~config ~lib registry dfg Cost.Power ~sampling_ns in
+      let synth ~flatten =
+        match
+          Result.bind
+            (S.Request.make ~config ~flatten ~lib ~registry ~dfg ~objective:Cost.Power
+               ~sampling_ns ())
+            S.synthesize
+        with
+        | Ok r -> r
+        | Error msg -> failwith msg
+      in
+      let hier = synth ~flatten:false in
+      let flat = synth ~flatten:true in
       Printf.printf
         "L.F. %.1f | hier: power=%7.3f area=%7.1f in %5.1fs | flat: power=%7.3f area=%7.1f in %5.1fs\n%!"
         lf hier.S.eval.Cost.power hier.S.eval.Cost.area hier.S.elapsed_s flat.S.eval.Cost.power

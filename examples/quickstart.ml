@@ -42,9 +42,16 @@ let () =
       r.S.ctx.Design.vdd r.S.ctx.Design.clk_ns r.S.eval.Cost.area r.S.eval.Cost.power
       r.S.eval.Cost.makespan r.S.elapsed_s
   in
-  let area_opt = S.run ~lib registry dfg Cost.Area ~sampling_ns in
+  let synth objective =
+    match
+      Result.bind (S.Request.make ~lib ~registry ~dfg ~objective ~sampling_ns ()) S.synthesize
+    with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let area_opt = synth Cost.Area in
   report "area-optimized " area_opt;
-  let power_opt = S.run ~lib registry dfg Cost.Power ~sampling_ns in
+  let power_opt = synth Cost.Power in
   report "power-optimized" power_opt;
   Printf.printf "\npower saving: %.1fx at %.0f%% area overhead\n\n"
     (area_opt.S.eval.Cost.power /. power_opt.S.eval.Cost.power)

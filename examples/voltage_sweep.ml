@@ -43,9 +43,15 @@ let () =
         List.filter_map
           (fun vdd ->
             let cfg = { config with S.vdd_candidates = [ vdd ] } in
-            match S.run ~config:cfg ~lib b.Suite.registry b.Suite.dfg Cost.Power ~sampling_ns with
-            | r -> Some (vdd, r)
-            | exception Failure _ -> None)
+            (* an infeasible voltage is a typed error, not an exception *)
+            match
+              Result.bind
+                (S.Request.make ~config:cfg ~lib ~registry:b.Suite.registry ~dfg:b.Suite.dfg
+                   ~objective:Cost.Power ~sampling_ns ())
+                S.synthesize
+            with
+            | Ok r -> Some (vdd, r)
+            | Error _ -> None)
           Voltage.candidates
       in
       let best_power =

@@ -220,6 +220,7 @@ val run :
   Cost.objective ->
   sampling_ns:float ->
   result
+[@@deprecated "use Request.make + synthesize"]
 (** Legacy shim: hierarchical synthesis of the behavior under a
     sampling-period constraint, unbudgeted. Prefer {!Request.make} +
     {!synthesize} in new code.
@@ -234,6 +235,7 @@ val run_flat :
   Cost.objective ->
   sampling_ns:float ->
   result
+[@@deprecated "use Request.make + synthesize"]
 (** The flattened baseline ([10]): flatten the hierarchy, then run the
     same engine (moves B and the complex-module machinery never
     trigger on a flat graph). Legacy shim like {!run}. *)

@@ -21,21 +21,37 @@ module Table = Hsyn_util.Table
    worst the very last is complete and parseable — and the last only if
    the process is killed mid-write. *)
 module Sink = struct
-  type t = { oc : out_channel; owns : bool; buf : Buffer.t }
+  type t = { oc : out_channel; owns : bool; buf : Buffer.t; lock : Mutex.t }
 
-  let of_channel oc = { oc; owns = false; buf = Buffer.create 512 }
-  let create path = { oc = open_out path; owns = true; buf = Buffer.create 512 }
+  let of_channel oc = { oc; owns = false; buf = Buffer.create 512; lock = Mutex.create () }
 
+  let create path =
+    { oc = open_out path; owns = true; buf = Buffer.create 512; lock = Mutex.create () }
+
+  (* The single [output_string] keeps a line contiguous within one
+     writer; the mutex keeps lines contiguous across writers when a
+     multi-domain producer (e.g. the serve daemon's per-client sinks
+     sharing stderr) funnels into one sink. [Fun.protect] because the
+     write itself may raise (EPIPE on a vanished reader) and the sink
+     must stay usable/lockable for the next writer. *)
   let line t s =
-    Buffer.clear t.buf;
-    Buffer.add_string t.buf s;
-    Buffer.add_char t.buf '\n';
-    output_string t.oc (Buffer.contents t.buf);
-    flush t.oc
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf s;
+        Buffer.add_char t.buf '\n';
+        output_string t.oc (Buffer.contents t.buf);
+        flush t.oc)
 
   let json t v = line t (Json.to_string v)
 
-  let close t = if t.owns then close_out t.oc else flush t.oc
+  let close t =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> if t.owns then close_out t.oc else flush t.oc)
 end
 
 (* -- aggregation ------------------------------------------------------- *)

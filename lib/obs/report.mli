@@ -7,7 +7,10 @@ module Json = Hsyn_util.Json
 
 (** Line-atomic NDJSON writer: each {!Sink.line} renders into a single
     [output_string] followed by a flush, so an interrupted run leaves
-    at most the final line incomplete. *)
+    at most the final line incomplete. A sink is domain-safe — writes
+    from concurrent domains are serialized by an internal mutex, so
+    multiplexed writers (the serve daemon's per-client event streams,
+    multi-domain benchmarks) never interleave partial lines. *)
 module Sink : sig
   type t
 
@@ -18,7 +21,8 @@ module Sink : sig
   (** Open [path] for writing; {!close} closes it. *)
 
   val line : t -> string -> unit
-  (** Write [s] plus a newline in one buffered write, then flush. *)
+  (** Write [s] plus a newline in one buffered write, then flush.
+      Safe to call from multiple domains on the same sink. *)
 
   val json : t -> Json.t -> unit
   (** [line] of the compact rendering. *)

@@ -30,15 +30,20 @@ let test_config =
     clib_effort = { Hsyn_core.Clib.default_effort with Hsyn_core.Clib.max_moves = 4; max_passes = 1 };
   }
 
-let synth ?(objective = Cost.Area) ?(lf = 2.2) (b : Suite.t) =
+let request ?(objective = Cost.Area) ?(lf = 2.2) ?(flatten = false) (b : Suite.t) =
   let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
-  S.run ~config:test_config ~lib b.Suite.registry b.Suite.dfg objective
-    ~sampling_ns:(lf *. min_ns)
+  S.Request.make ~config:test_config ~flatten ~lib ~registry:b.Suite.registry ~dfg:b.Suite.dfg
+    ~objective ~sampling_ns:(lf *. min_ns) ()
 
-let synth_flat ?(objective = Cost.Area) ?(lf = 2.2) (b : Suite.t) =
-  let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
-  S.run_flat ~config:test_config ~lib b.Suite.registry b.Suite.dfg objective
-    ~sampling_ns:(lf *. min_ns)
+let synth ?objective ?lf (b : Suite.t) =
+  match Result.bind (request ?objective ?lf b) S.synthesize with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "synthesis of %s failed: %s" b.Suite.name msg
+
+let synth_flat ?objective ?lf (b : Suite.t) =
+  match Result.bind (request ?objective ?lf ~flatten:true b) S.synthesize with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "flat synthesis of %s failed: %s" b.Suite.name msg
 
 let test_feasible_result name b =
   let r = synth b in
@@ -98,14 +103,11 @@ let test_rescale_vdd () =
   checkb "same architecture" true (scaled.S.design == ra.S.design)
 
 let test_infeasible_sampling_fails () =
-  let b = Suite.test1 () in
-  let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
-  match
-    S.run ~config:test_config ~lib b.Suite.registry b.Suite.dfg Cost.Area
-      ~sampling_ns:(0.2 *. min_ns)
-  with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected failure below the minimum sampling period"
+  (* below the minimum sampling period no context is feasible; the
+     request builds fine but the run reports a typed error *)
+  match Result.bind (request ~lf:0.2 (Suite.test1 ())) S.synthesize with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error below the minimum sampling period"
 
 let test_min_sampling_positive () =
   List.iter

@@ -325,8 +325,14 @@ let test_synthesis_determinism () =
       }
     in
     let r =
-      S.run ~config ~lib:Library.default b.Suite.registry b.Suite.dfg Cost.Power
-        ~sampling_ns:(2.2 *. min_ns)
+      match
+        Result.bind
+          (S.Request.make ~config ~lib:Library.default ~registry:b.Suite.registry
+             ~dfg:b.Suite.dfg ~objective:Cost.Power ~sampling_ns:(2.2 *. min_ns) ())
+          S.synthesize
+      with
+      | Ok r -> r
+      | Error msg -> Alcotest.failf "synthesis failed: %s" msg
     in
     r.S.eval
   in

@@ -378,6 +378,47 @@ let test_sink_line_atomic () =
       checks "first line" {|{"a":1}|} l1;
       checks "second line" {|{"b":2}|} l2)
 
+(* Four domains blast distinctive lines at one sink; every line of the
+   resulting file must be exactly one writer's payload — no partial or
+   spliced lines — and all writes must be present. *)
+let test_sink_concurrent_writers () =
+  let writers = 4 and per_writer = 500 in
+  let path = Filename.temp_file "hsyn_obs" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = Report.Sink.create path in
+      let payload w i = Printf.sprintf {|{"writer":%d,"i":%d,"pad":"%s"}|} w i (String.make (50 + w) 'x') in
+      let spawn w =
+        Domain.spawn (fun () ->
+            for i = 0 to per_writer - 1 do
+              Report.Sink.line s (payload w i)
+            done)
+      in
+      let ds = List.init writers spawn in
+      List.iter Domain.join ds;
+      Report.Sink.close s;
+      let ic = open_in path in
+      let seen = Hashtbl.create (writers * per_writer) in
+      let lines = ref 0 in
+      (try
+         while true do
+           let l = input_line ic in
+           incr lines;
+           (match Json.of_string l with
+           | Ok v ->
+               let g k = Option.bind (Json.member k v) Json.to_int_opt in
+               (match (g "writer", g "i") with
+               | Some w, Some i ->
+                   checks "line intact" (payload w i) l;
+                   Hashtbl.replace seen (w, i) ()
+               | _ -> Alcotest.failf "malformed line: %s" l)
+           | Error e -> Alcotest.failf "interleaved/unparseable line %s: %s" l e)
+         done
+       with End_of_file -> close_in ic);
+      checki "total lines" (writers * per_writer) !lines;
+      checki "distinct payloads" (writers * per_writer) (Hashtbl.length seen))
+
 (* ------------------------------------------------------------------ *)
 
 let tc = Alcotest.test_case
@@ -412,5 +453,9 @@ let () =
           tc "detects result mismatch" `Quick test_report_detects_mismatch;
           tc "rejects empty stream" `Quick test_report_rejects_empty;
         ] );
-      ("sink", [ tc "line atomic" `Quick test_sink_line_atomic ]);
+      ( "sink",
+        [
+          tc "line atomic" `Quick test_sink_line_atomic;
+          tc "concurrent writers" `Quick test_sink_concurrent_writers;
+        ] );
     ]

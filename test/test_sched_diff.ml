@@ -101,7 +101,14 @@ let config =
 let synth impl (b : Suite.t) objective =
   with_impl impl (fun () ->
       let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
-      S.run ~config ~lib b.Suite.registry b.Suite.dfg objective ~sampling_ns:(2.2 *. min_ns))
+      match
+        Result.bind
+          (S.Request.make ~config ~lib ~registry:b.Suite.registry ~dfg:b.Suite.dfg ~objective
+             ~sampling_ns:(2.2 *. min_ns) ())
+          S.synthesize
+      with
+      | Ok r -> r
+      | Error msg -> Alcotest.failf "synthesis of %s failed: %s" b.Suite.name msg)
 
 let checkf what a b = Alcotest.check (Alcotest.float 1e-9) what a b
 

@@ -1,0 +1,305 @@
+(* Tests for the hsyn serve daemon and the Wire request codec: JSON
+   round-trips with strict field checking, served-vs-solo result
+   identity over a live socket, admission-control rejects, server-side
+   deadline clamps firing mid-stream, malformed input survival, the
+   metrics endpoint, and the clean stop/drain path. *)
+
+module Wire = Hsyn_core.Wire
+module Budget = Hsyn_core.Budget
+module Cost = Hsyn_core.Cost
+module S = Hsyn_core.Synthesize
+module Session = Hsyn_core.Session
+module Serve = Hsyn_serve.Serve
+module Suite = Hsyn_benchmarks.Suite
+module Library = Hsyn_modlib.Library
+module Json = Hsyn_util.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let gets k j = Option.get (Option.bind (Json.member k j) Json.to_string_opt)
+
+(* cheap effort: every serve test below synthesizes tiny graphs only *)
+let test_config =
+  {
+    S.default_config with
+    S.max_moves = 4;
+    max_passes = 1;
+    max_candidates = 12;
+    trace_length = 6;
+    max_clocks = 2;
+    clib_effort =
+      { Hsyn_core.Clib.default_effort with Hsyn_core.Clib.max_moves = 2; max_passes = 1 };
+  }
+
+let test1_doc ?(objective = Cost.Area) () =
+  Wire.make_doc ~objective ~timing:(Wire.Laxity 2.2) ~config:test_config (Wire.Bench "test1")
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec round-trips *)
+
+let roundtrip_doc name doc =
+  let json = Wire.doc_to_json doc in
+  match Wire.doc_of_json json with
+  | Error msg -> Alcotest.failf "%s did not parse back: %s" name msg
+  | Ok doc' ->
+      checks (name ^ " round-trips to the same JSON") (Json.to_string json)
+        (Json.to_string (Wire.doc_to_json doc'))
+
+let test_wire_doc_roundtrip () =
+  roundtrip_doc "default doc" (Wire.make_doc (Wire.Bench "test1"));
+  roundtrip_doc "bench doc" (test1_doc ~objective:Cost.Power ());
+  roundtrip_doc "program doc"
+    (Wire.make_doc ~objective:Cost.Power
+       ~timing:(Wire.Sampling_ns 480.) ~flatten:true
+       (Wire.Program { text = "dfg t\n  input a\n  op s add a a\n  output y s\nend\n"; graph = Some "t" }));
+  let budget =
+    match Budget.make ~deadline_s:1.5 ~max_moves:7 ~max_passes:3 ~max_contexts:2 () with
+    | Ok b -> b
+    | Error msg -> Alcotest.fail msg
+  in
+  roundtrip_doc "budgeted doc" (Wire.make_doc ~budget (Wire.Bench "iir"));
+  let config =
+    { test_config with S.vdd_candidates = [ 5.0; 3.3 ]; clk_candidates = Some [ 20.0; 40.0 ] }
+  in
+  roundtrip_doc "config doc" (Wire.make_doc ~config (Wire.Bench "dct"))
+
+let test_wire_rejects_unknown_field () =
+  let json = Wire.doc_to_json (test1_doc ()) in
+  let with_bogus = match json with Json.Obj f -> Json.Obj (f @ [ ("bogus", Json.Int 1) ]) | _ -> json in
+  (match Wire.doc_of_json with_bogus with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error msg -> checkb "error names the field" true (contains msg "bogus"));
+  match Wire.doc_of_string "{\"kind\":\"nope\"}" with
+  | Ok _ -> Alcotest.fail "wrong kind accepted"
+  | Error _ -> ()
+
+let test_wire_error_roundtrip () =
+  List.iter
+    (fun e ->
+      match Wire.error_of_json (Wire.error_to_json e) with
+      | Error msg -> Alcotest.failf "error did not parse back: %s" msg
+      | Ok e' ->
+          checks "error round-trips"
+            (Json.to_string (Wire.error_to_json e))
+            (Json.to_string (Wire.error_to_json e')))
+    [
+      Wire.error Wire.Bad_request "no such field";
+      Wire.error ~retry_after_s:0.25 Wire.Overloaded "try later";
+      Wire.error Wire.Shutting_down "draining";
+      Wire.error Wire.Failed "infeasible";
+      Wire.error Wire.Internal "oops";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* live-server helpers *)
+
+let sock_n = ref 0
+
+let tmp_sock () =
+  incr sock_n;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hsyn-test-serve-%d-%d.sock" (Unix.getpid ()) !sock_n)
+
+(* run [f] against a live server, always stopping and joining it *)
+let with_server ?session ?(config = Serve.default_config) f =
+  let server =
+    match Serve.create ?session ~config (Serve.Unix_socket (tmp_sock ())) with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "serve create failed: %s" msg
+  in
+  let d = Domain.spawn (fun () -> Serve.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Domain.join d)
+    (fun () -> f server (Serve.address server))
+
+let last = function [] -> Alcotest.fail "empty response" | lines -> List.nth lines (List.length lines - 1)
+
+let request_lines addr doc =
+  match Serve.Client.request ~timeout_s:60. addr doc with
+  | Ok lines -> lines
+  | Error msg -> Alcotest.failf "client request failed: %s" msg
+
+let parse line = match Json.of_string line with Ok j -> j | Error m -> Alcotest.failf "bad JSON line %S: %s" line m
+
+(* ------------------------------------------------------------------ *)
+(* served-vs-solo identity and event streaming *)
+
+let test_served_identical_to_solo () =
+  with_server (fun _ addr ->
+      List.iter
+        (fun doc ->
+          let lines = request_lines addr doc in
+          let final = last lines in
+          checks "final line is a result" "hsyn.result" (gets "kind" (parse final));
+          checkb "events streamed before the final line" true (List.length lines > 1);
+          checks "served final = solo final (canonical)"
+            (Serve.canonical_final (Serve.solo_final Serve.default_config doc))
+            (Serve.canonical_final final))
+        [ test1_doc (); test1_doc ~objective:Cost.Power () ])
+
+let test_shared_session_keeps_identity () =
+  (* the second, cache-warmed run of the same doc must serve the very
+     same canonical final as the cold one *)
+  with_server (fun _ addr ->
+      let doc = test1_doc () in
+      let a = Serve.canonical_final (last (request_lines addr doc)) in
+      let b = Serve.canonical_final (last (request_lines addr doc)) in
+      checks "warm == cold" a b)
+
+(* ------------------------------------------------------------------ *)
+(* protocol errors never kill the daemon *)
+
+let test_malformed_request_survives () =
+  with_server (fun server addr ->
+      (match Serve.Client.raw ~timeout_s:10. addr "this is not json" with
+      | Error msg -> Alcotest.failf "raw send failed: %s" msg
+      | Ok lines ->
+          let j = parse (last lines) in
+          checks "typed error line" "hsyn.error" (gets "kind" j);
+          checks "bad_request code" "bad_request" (gets "code" j));
+      (match Serve.Client.raw ~timeout_s:10. addr "{\"kind\":\"hsyn.request\",\"schema_version\":1,\"source\":{\"bench\":\"no-such-bench\"}}" with
+      | Error msg -> Alcotest.failf "raw send failed: %s" msg
+      | Ok lines -> checks "unknown bench is bad_request" "bad_request" (gets "code" (parse (last lines))));
+      (* the daemon still serves after both *)
+      let final = last (request_lines addr (test1_doc ())) in
+      checks "daemon survives" "hsyn.result" (gets "kind" (parse final));
+      let stats = Serve.stats server in
+      checki "both protocol errors counted" 2 stats.Serve.errors)
+
+(* ------------------------------------------------------------------ *)
+(* admission control *)
+
+let test_admission_rejects_when_full () =
+  (* one worker, no queue: a connection that holds the worker (by not
+     sending its line) forces the next one onto the reject path *)
+  let config =
+    { Serve.default_config with Serve.max_inflight = 1; max_queue = 0; retry_after_s = 0.125; read_timeout_s = 5.0 }
+  in
+  with_server ~config (fun server addr ->
+      let path = match addr with Serve.Unix_socket p -> p | _ -> Alcotest.fail "unix socket expected" in
+      let hold = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close hold)
+        (fun () ->
+          Unix.connect hold (Unix.ADDR_UNIX path);
+          (* wait until the held connection occupies the single worker *)
+          let rec wait n =
+            let s = Serve.stats server in
+            if s.Serve.in_flight + s.Serve.queued >= 1 then ()
+            else if n = 0 then Alcotest.fail "held connection never admitted"
+            else (Unix.sleepf 0.02; wait (n - 1))
+          in
+          wait 250;
+          match Serve.Client.request ~timeout_s:10. addr (test1_doc ()) with
+          | Error msg -> Alcotest.failf "probe failed: %s" msg
+          | Ok lines ->
+              let j = parse (last lines) in
+              checks "typed reject" "hsyn.error" (gets "kind" j);
+              checks "overloaded code" "overloaded" (gets "code" j);
+              let retry = Option.bind (Json.member "retry_after_s" j) Json.to_float_opt in
+              checkb "carries the retry-after hint" true (retry = Some 0.125));
+      let stats = Serve.stats server in
+      checkb "reject was counted" true (stats.Serve.rejected >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* server-side deadline clamp fires mid-stream *)
+
+let test_deadline_clamp_mid_stream () =
+  let config = { Serve.default_config with Serve.max_request_s = Some 0.005 } in
+  with_server ~config (fun _ addr ->
+      let doc = Wire.make_doc ~timing:(Wire.Laxity 2.2) (Wire.Bench "iir") in
+      let lines = request_lines addr doc in
+      let j = parse (last lines) in
+      (* a clamped run still answers with exactly one typed final line:
+         either a truncated result or a typed failure *)
+      (match gets "kind" j with
+      | "hsyn.result" ->
+          checkb "truncated result is marked incomplete" false
+            (Option.bind (Json.member "completed" j) (function Json.Bool b -> Some b | _ -> None)
+            = Some true)
+      | "hsyn.error" -> checks "failure is typed" "failed" (gets "code" j)
+      | k -> Alcotest.failf "unexpected final kind %s" k);
+      (* and the daemon is still healthy afterwards — the follow-up is
+         clamped too, so any typed final line proves survival *)
+      let final = parse (last (request_lines addr (test1_doc ()))) in
+      checkb "daemon survives the deadline" true
+        (List.mem (gets "kind" final) [ "hsyn.result"; "hsyn.error" ]))
+
+(* ------------------------------------------------------------------ *)
+(* metrics endpoint *)
+
+let test_metrics_endpoint () =
+  with_server (fun _ addr ->
+      ignore (request_lines addr (test1_doc ()));
+      match Serve.Client.metrics ~timeout_s:10. addr with
+      | Error msg -> Alcotest.failf "metrics failed: %s" msg
+      | Ok line ->
+          let j = parse line in
+          checks "metrics line kind" "hsyn.metrics" (gets "kind" j);
+          List.iter
+            (fun key -> checkb (key ^ " published") true (contains line key))
+            [
+              "serve.accepted"; "serve.completed"; "serve.rejected"; "serve.errors";
+              "serve.in_flight"; "serve.queued"; "serve.latency_p90_ms";
+            ])
+
+(* ------------------------------------------------------------------ *)
+(* clean stop/drain *)
+
+let test_stop_drains_and_unlinks () =
+  let path = tmp_sock () in
+  let server =
+    match Serve.create (Serve.Unix_socket path) with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "serve create failed: %s" msg
+  in
+  let d = Domain.spawn (fun () -> Serve.run server) in
+  let addr = Serve.address server in
+  let final = last (request_lines addr (test1_doc ())) in
+  checks "request served" "hsyn.result" (gets "kind" (parse final));
+  Serve.stop server;
+  Serve.stop server (* idempotent *);
+  Domain.join d;
+  let stats = Serve.stats server in
+  checki "nothing in flight after drain" 0 stats.Serve.in_flight;
+  checki "nothing queued after drain" 0 stats.Serve.queued;
+  checki "the request completed" 1 stats.Serve.completed;
+  checkb "socket path unlinked" false (Sys.file_exists path);
+  match Serve.Client.request ~timeout_s:2. addr (test1_doc ()) with
+  | Ok _ -> Alcotest.fail "stopped server still answered"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "doc round-trips" `Quick test_wire_doc_roundtrip;
+          Alcotest.test_case "rejects unknown fields" `Quick test_wire_rejects_unknown_field;
+          Alcotest.test_case "error round-trips" `Quick test_wire_error_roundtrip;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "served = solo" `Quick test_served_identical_to_solo;
+          Alcotest.test_case "warm session = cold" `Quick test_shared_session_keeps_identity;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "malformed request survives" `Quick test_malformed_request_survives;
+          Alcotest.test_case "deadline clamp mid-stream" `Quick test_deadline_clamp_mid_stream;
+          Alcotest.test_case "metrics endpoint" `Quick test_metrics_endpoint;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "rejects when full" `Quick test_admission_rejects_when_full ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "stop drains and unlinks" `Quick test_stop_drains_and_unlinks ] );
+    ]
