@@ -707,6 +707,155 @@ let session_section () =
      confirms sharing never changes the synthesized design.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Persistent cache tier + portfolio search: each workload runs three
+   ways — cold (populating and saving the cache), warm (a fresh session
+   reloading the persisted cache, simulating a process restart), and as
+   an N-strategy portfolio race. The warm run must be bit-identical to
+   the cold one with a nonzero disk hit rate; the portfolio result must
+   be no worse than the single-strategy run under the same budget. CI
+   greps BENCH_cache.json for "ok":true. *)
+
+let cache_section () =
+  header "cache" "Persistent cost cache (cold vs disk-warm) and portfolio search";
+  let module Gen = Hsyn_fuzz.Gen in
+  let portfolio_n = 3 in
+  (* suite workloads plus fuzz-generated near-duplicates: consecutive
+     seeds draw structurally similar programs, the cross-workload
+     sharing a persistent cache is meant to exploit *)
+  let cases =
+    let bench (b : Suite.t) objective =
+      (Printf.sprintf "%s/%s" b.Suite.name (Cost.objective_name objective),
+       b.Suite.registry, b.Suite.dfg, objective)
+    in
+    let fuzz seed objective =
+      let p = Gen.program (Rng.create seed) in
+      (Printf.sprintf "fuzz-%d/%s" seed (Cost.objective_name objective),
+       p.Text.registry, Gen.top_graph p, objective)
+    in
+    [ bench (Suite.test1 ()) Cost.Power; fuzz 21 Cost.Power; fuzz 22 Cost.Area ]
+  in
+  let fresh_dir () =
+    let path = Filename.temp_file "hsyn-bench-cache" "" in
+    Sys.remove path;
+    Sys.mkdir path 0o700;
+    path
+  in
+  let remove_dir dir =
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir)
+     with Sys_error _ -> ());
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "case"; "cold (s)"; "warm (s)"; "speedup"; "disk hits"; "portfolio (s)"; "ok" ]
+  in
+  let case_objs = ref [] in
+  let all_ok = ref true in
+  List.iter
+    (fun (case, registry, dfg, objective) ->
+      Printf.printf "  running %s (cold + save, warm reload, portfolio %d) ...\n%!" case
+        portfolio_n;
+      let sampling_ns = 2.2 *. Float.max 1.0 (S.min_sampling_ns lib registry dfg) in
+      let dir = fresh_dir () in
+      Fun.protect ~finally:(fun () -> remove_dir dir) @@ fun () ->
+      let request session =
+        match S.Request.make ~config ~session ~lib ~registry ~dfg ~objective ~sampling_ns () with
+        | Ok req -> req
+        | Error msg -> failwith msg
+      in
+      let run ?cache_dir session =
+        match S.synthesize ?cache_dir (request session) with
+        | Ok r -> r
+        | Error msg -> failwith msg
+      in
+      (* cold: fresh session, empty cache directory — populates + saves *)
+      let cold = run ~cache_dir:dir (Session.create ()) in
+      (* warm: a fresh session (as after a restart) reloading the file *)
+      let warm_session = Session.create () in
+      let warm = run ~cache_dir:dir warm_session in
+      let disk_hits = (Session.totals warm_session).Engine.disk_hits in
+      let cache_hits = (Session.totals warm_session).Engine.cache_hits in
+      (* portfolio: race N sweep orders on one fresh shared session *)
+      let p0 = Unix.gettimeofday () in
+      let portfolio =
+        match S.portfolio ~n:portfolio_n (request (Session.create ())) with
+        | Ok r -> r
+        | Error msg -> failwith msg
+      in
+      let portfolio_s = Unix.gettimeofday () -. p0 in
+      let identical =
+        Int64.bits_of_float cold.S.eval.Cost.area = Int64.bits_of_float warm.S.eval.Cost.area
+        && Int64.bits_of_float cold.S.eval.Cost.power
+           = Int64.bits_of_float warm.S.eval.Cost.power
+        && Design.fingerprint cold.S.design = Design.fingerprint warm.S.design
+      in
+      let cold_v = Cost.objective_value objective cold.S.eval in
+      let portfolio_v = Cost.objective_value objective portfolio.S.eval in
+      (* every strategy sweeps the same context set, so a completed
+         portfolio finds the same optimal value as the canonical order *)
+      let portfolio_ok = portfolio.S.completed && portfolio_v <= cold_v in
+      let ok = identical && disk_hits > 0 && portfolio_ok in
+      let speedup = cold.S.elapsed_s /. Float.max 1e-9 warm.S.elapsed_s in
+      all_ok := !all_ok && ok;
+      Table.add_row t
+        [
+          case;
+          Printf.sprintf "%.2f" cold.S.elapsed_s;
+          Printf.sprintf "%.2f" warm.S.elapsed_s;
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%d/%d" disk_hits cache_hits;
+          Printf.sprintf "%.2f" portfolio_s;
+          (if ok then "yes" else "NO");
+        ];
+      case_objs :=
+        Json.Obj
+          [
+            ("case", Json.String case);
+            ("cold_s", Json.Float cold.S.elapsed_s);
+            ("warm_s", Json.Float warm.S.elapsed_s);
+            ("speedup", Json.Float speedup);
+            ("disk_hits", Json.Int disk_hits);
+            ("cache_hits", Json.Int cache_hits);
+            ("disk_hit_rate",
+             Json.Float
+               (if cache_hits = 0 then 0.
+                else Float.of_int disk_hits /. Float.of_int cache_hits));
+            ("portfolio_n", Json.Int portfolio_n);
+            ("portfolio_s", Json.Float portfolio_s);
+            ("portfolio_value", Json.Float portfolio_v);
+            ("cold_value", Json.Float cold_v);
+            ("identical", Json.Bool identical);
+            ("ok", Json.Bool ok);
+          ]
+        :: !case_objs)
+    cases;
+  Table.print t;
+  let json =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ("ok", Json.Bool !all_ok);
+        ("cases", Json.List (List.rev !case_objs));
+      ]
+  in
+  let line = Json.to_string json in
+  Printf.printf "cache-json: %s\n" line;
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  (written to BENCH_cache.json)\n";
+  Printf.printf
+    "Reading: the warm run starts from a fresh session plus the cache file the cold run\n\
+     persisted — its disk hits are work a restarted process did not redo, and \"ok\"\n\
+     additionally confirms warm ≡ cold bit-for-bit and that the portfolio race is no\n\
+     worse than the canonical single-strategy sweep.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler-kernel microbenchmark: event-driven vs legacy time-stepped
    on the largest suite benchmark. Runs even under --no-micro (it is
    cheap and CI persists its JSON as the BENCH_sched.json artifact). *)
@@ -1008,6 +1157,10 @@ let serve_section () =
         | Some "hsyn.error" -> Option.bind (Json.member "code" j) Json.to_string_opt
         | _ -> None)
   in
+  (* an overload reject is a backpressure signal, not a terminal
+     answer: honor the server's retry_after_s hint (falling back to
+     the configured default), doubling per consecutive reject up to a
+     2 s cap, until the request is admitted *)
   let rec send_doc attempts doc =
     match Serve.Client.request ~timeout_s:300. addr doc with
     | Error msg -> Error msg
@@ -1016,7 +1169,13 @@ let serve_section () =
         let final = List.nth lines (List.length lines - 1) in
         match final_code final with
         | Some "overloaded" when attempts < 50 ->
-            Unix.sleepf serve_cfg.Serve.retry_after_s;
+            let hint =
+              match Json.of_string final with
+              | Ok j -> Option.bind (Json.member "retry_after_s" j) Json.to_float_opt
+              | Error _ -> None
+            in
+            let base = Option.value hint ~default:serve_cfg.Serve.retry_after_s in
+            Unix.sleepf (Float.min 2.0 (base *. Float.of_int (1 lsl min attempts 4)));
             send_doc (attempts + 1) doc
         | _ -> Ok (final, List.length lines - 1, attempts))
   in
@@ -1081,6 +1240,11 @@ let serve_section () =
   let n = List.length served in
   let rps = Float.of_int n /. Float.max 1e-9 wall_s in
   let p90_ms = Stats.percentile 90. !latencies in
+  let total_retries =
+    List.fold_left
+      (fun acc (_, outcome, _) -> match outcome with Ok (_, _, r) -> acc + r | Error _ -> acc)
+      0 served
+  in
   let drained =
     stats.Serve.in_flight = 0 && stats.Serve.queued = 0
     && stats.Serve.completed + stats.Serve.errors >= n
@@ -1104,6 +1268,7 @@ let serve_section () =
         ("completed", Json.Int stats.Serve.completed);
         ("rejected", Json.Int stats.Serve.rejected);
         ("errors", Json.Int stats.Serve.errors);
+        ("retries", Json.Int total_retries);
       ]
   in
   let line = Json.to_string json in
@@ -1201,6 +1366,7 @@ let () =
   if section "ablation" then ablation ();
   if section "engine" then engine_section ();
   if section "session" then session_section ();
+  if section "cache" then cache_section ();
   if section "sched" then sched_section ();
   if section "obs" then obs_section ();
   if section "serve" then serve_section ();

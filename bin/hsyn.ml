@@ -190,7 +190,13 @@ let synth_one ~session ~doc progress events_json trace_out metrics_out checkpoin
                 | Some path -> write_json_file path (Metrics.snapshot ())
                 | None -> ());
                 Sys.set_signal Sys.sigint previous)
-              (fun () -> S.synthesize ~events ~token ?checkpoint ~resume req)
+              (fun () ->
+                if doc.Wire.portfolio > 1 then
+                  S.portfolio ~events ~token ?cache_dir:doc.Wire.cache
+                    ~n:doc.Wire.portfolio req
+                else
+                  S.synthesize ~events ~token ?checkpoint ~resume
+                    ?cache_dir:doc.Wire.cache req)
           in
           match outcome with
           | Error msg ->
@@ -251,7 +257,8 @@ let synth_one ~session ~doc progress events_json trace_out metrics_out checkpoin
 (* Flags -> [Wire.doc]s: the CLI front-end builds the same request
    documents a [serve] client sends, then resolves them through the
    same [Wire.to_request]. [--dump-request] prints them instead. *)
-let make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts =
+let make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
+    portfolio cache =
   Result.bind (load_sources bench file dfg_name) (fun sources ->
       let objective =
         match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
@@ -272,16 +279,22 @@ let make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s 
           clib_effort = { Clib.default_effort with Clib.engine = policy };
         }
       in
-      Result.bind (Budget.make ?deadline_s:budget_s ?max_contexts ()) (fun budget ->
-          Ok
-            (List.map
-               (Wire.make_doc ~objective ~timing ~flatten:(mode = "flat") ~config ~budget)
-               sources)))
+      if portfolio < 1 then Error (Printf.sprintf "--portfolio must be >= 1 (got %d)" portfolio)
+      else
+        Result.bind (Budget.make ?deadline_s:budget_s ?max_contexts ()) (fun budget ->
+            Ok
+              (List.map
+                 (Wire.make_doc ~objective ~timing ~flatten:(mode = "flat") ~config ~budget
+                    ~portfolio ?cache)
+                 sources)))
 
 let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
-    share_session dump_request progress events_json trace_out metrics_out checkpoint resume json
-    show_stats profile show_rtl show_fsm show_sched show_verilog =
-  match make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts with
+    portfolio cache share_session dump_request progress events_json trace_out metrics_out
+    checkpoint resume json show_stats profile show_rtl show_fsm show_sched show_verilog =
+  match
+    make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
+      portfolio cache
+  with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
       1
@@ -359,6 +372,27 @@ let max_contexts_arg =
     & opt (some int) None
     & info [ "max-contexts" ] ~docv:"N"
         ~doc:"Stop after N (V_dd, clock) contexts of the sweep.")
+
+let portfolio_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "portfolio" ] ~docv:"N"
+        ~doc:
+          "Race N deterministic sweep strategies on a shared memoization session; the first to \
+           complete its full sweep wins and cancels the rest. The winner's result is bit-identical \
+           to running that strategy alone, so this trades CPU for wall clock without changing any \
+           answer. N=1 (the default) is a plain run.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persistent cost-cache directory: warm-start the run from caches saved there by \
+           earlier runs, and snapshot the session's cache back on completion. Warm runs are \
+           bit-identical to cold ones; a missing, corrupt or version-mismatched cache file is \
+           skipped with a warning (a cold start), never an error.")
 
 let share_session_flag =
   Arg.(
@@ -455,10 +489,10 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
-      $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ share_session_flag
-      $ dump_request_flag $ progress_flag $ events_json_arg $ trace_arg $ metrics_arg
-      $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag $ profile_flag $ rtl_flag
-      $ fsm_flag $ sched_flag $ verilog_flag)
+      $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ portfolio_arg
+      $ cache_arg $ share_session_flag $ dump_request_flag $ progress_flag $ events_json_arg
+      $ trace_arg $ metrics_arg $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag
+      $ profile_flag $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
 
 (* ------------------------------------------------------------------ *)
 (* report *)
@@ -663,7 +697,8 @@ let fuzz_oracle_arg =
         ~doc:
           "Run only this oracle (repeatable). The per-run RNG streams do not depend on the \
            selection, so a failure found by a full campaign reproduces under its oracle alone. \
-           Known oracles: roundtrip, sched-diff, engine-direct, checkpoint-resume, jobs, embed.")
+           Known oracles: roundtrip, sched-diff, engine-direct, checkpoint-resume, jobs, embed, \
+           session, cache.")
 
 let fuzz_corpus_arg =
   Arg.(
@@ -704,7 +739,7 @@ let parse_tcp spec =
       | Some p when p >= 0 && p < 65536 -> Ok (Serve.Tcp ((if host = "" then "127.0.0.1" else host), p))
       | _ -> Error (Printf.sprintf "--tcp %S: bad port %S" spec port))
 
-let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s =
+let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s cache =
   let addr =
     match (socket, tcp) with
     | Some path, None -> Ok (Serve.Unix_socket path)
@@ -726,7 +761,17 @@ let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s =
           retry_after_s;
         }
       in
-      match Serve.create ~config addr with
+      (* the daemon's persistent cache is operator-controlled: the shared
+         session is warm-started here, and saved back after the drain;
+         client-supplied cache fields in request documents are ignored *)
+      let session = Session.create () in
+      (match cache with
+      | None -> ()
+      | Some dir -> (
+          match Session.load_into session ~lib:config.Serve.lib ~dir with
+          | Ok n -> Format.eprintf "hsyn serve: cache %s: loaded %d entries@." dir n
+          | Error msg -> Format.eprintf "hsyn serve: cache %s: %s (cold start)@." dir msg));
+      match Serve.create ~session ~config addr with
       | Error msg ->
           prerr_endline ("hsyn: serve: " ^ msg);
           1
@@ -751,6 +796,12 @@ let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s =
           Serve.run srv;
           Sys.set_signal Sys.sigint prev_int;
           Option.iter (Sys.set_signal Sys.sigterm) prev_term;
+          (match cache with
+          | None -> ()
+          | Some dir -> (
+              match Session.save (Serve.session srv) ~dir with
+              | Ok n -> Format.eprintf "hsyn serve: cache %s: saved %d entries@." dir n
+              | Error msg -> Format.eprintf "hsyn serve: cache %s: save failed: %s@." dir msg));
           let st = Serve.stats srv in
           Format.eprintf
             "hsyn serve: drained — %d accepted, %d completed, %d rejected, %d errors@."
@@ -799,6 +850,17 @@ let retry_after_arg =
     & info [ "retry-after" ] ~docv:"SECONDS"
         ~doc:"The retry-after hint carried by overload rejections.")
 
+let serve_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persistent cost-cache directory for the daemon's shared session: warm-start from \
+           $(docv) on boot, save back after the drain, so restarts keep the accumulated cache. \
+           Cache directives inside client request documents are ignored — the daemon's cache \
+           location is operator-controlled.")
+
 let serve_cmd =
   let doc = "run the multi-tenant synthesis daemon (NDJSON over a Unix/TCP socket)" in
   let man =
@@ -821,7 +883,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const do_serve $ socket_arg $ tcp_arg $ max_inflight_arg $ max_queue_arg
-      $ max_request_s_arg $ retry_after_arg)
+      $ max_request_s_arg $ retry_after_arg $ serve_cache_arg)
 
 let main =
   let doc = "hierarchical behavioral synthesis of power- and area-optimized circuits" in

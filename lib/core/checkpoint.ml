@@ -25,9 +25,11 @@ type t = {
 let magic = "HSYN-CKPT"
 (* v2: Pass.stats gained the [sched] kernel counters (PR 3).
    v3: Pass.stats gained [committed] move records and per-family
-   [reverted] counts (observability PR). Both change the Marshal
-   layout of the incumbent record. *)
-let schema_version = 3
+   [reverted] counts (observability PR).
+   v4: Engine.counters (embedded in Pass.stats) gained [disk_hits]
+   (persistent-cache PR). All change the Marshal layout of the
+   incumbent record. *)
+let schema_version = 4
 
 let compatible t ~dfg_name ~objective ~sampling_ns ~flattened =
   if t.dfg_name <> dfg_name then

@@ -16,6 +16,7 @@ type counters = Session.counters = {
   power_sims : int;
   power_skipped : int;
   batches : int;
+  disk_hits : int;
   wall_s : float;
 }
 
@@ -28,7 +29,11 @@ type policy = { jobs : int; cache_capacity : int; staged : bool }
 
 let default_policy = { jobs = Pool.default_jobs (); cache_capacity = 4096; staged = true }
 
-type entry = Session.entry = { e_design : Design.t; e_state : Session.entry_state Atomic.t }
+type entry = Session.entry = {
+  e_design : Design.t;
+  e_state : Session.entry_state Atomic.t;
+  e_from_disk : bool;
+}
 
 type t = {
   policy : policy;
@@ -78,6 +83,7 @@ let metrics_bump fam d =
   put "power_sims" d.power_sims;
   put "power_skipped" d.power_skipped;
   put "batches" d.batches;
+  put "disk_hits" d.disk_hits;
   if d.wall_s <> 0. then Metrics.facc (Metrics.fcounter "engine.wall_s") d.wall_s
 
 let bump t ?fam d =
@@ -191,7 +197,7 @@ let fresh_entry t ?(need_power = false) design =
     (* infeasible designs never need a simulation — born complete *)
     if partial.Cost.feasible then Session.Partial partial else Session.Full partial
   in
-  let e = { e_design = design; e_state = Atomic.make state } in
+  let e = { e_design = design; e_state = Atomic.make state; e_from_disk = false } in
   if need_power then ignore (complete_power t e : bool);
   e
 
@@ -201,7 +207,8 @@ let eval_internal t ~need_power design =
   match cache_find t fp design with
   | Some e ->
       let sims = if need_power && complete_power t e then 1 else 0 in
-      bump t { zero with cache_hits = 1; power_sims = sims };
+      bump t
+        { zero with cache_hits = 1; power_sims = sims; disk_hits = (if e.e_from_disk then 1 else 0) };
       Session.entry_eval e
   | None ->
       let e = fresh_entry t ~need_power design in
@@ -285,6 +292,7 @@ let best_of t ?family ~limit seq =
                                makespan = 0;
                                feasible = false;
                              });
+                      e_from_disk = false;
                     }
                   in
                   Hashtbl.replace batch_seen fp e;
@@ -306,14 +314,20 @@ let best_of t ?family ~limit seq =
       (fun (i, tag, design, fp, hit) s1 ->
         match (hit, s1) with
         | Some e, _ ->
-            bump t ?fam:(fam tag) { zero with cache_hits = 1 };
+            bump t ?fam:(fam tag)
+              { zero with cache_hits = 1; disk_hits = (if e.e_from_disk then 1 else 0) };
             { c_idx = i; c_tag = tag; c_fam = fam tag; c_fp = fp; c_entry = e; c_cached = true }
         | None, Some partial ->
             bump t ?fam:(fam tag) { zero with cache_misses = 1; evaluated = 1 };
             let e =
               match Hashtbl.find_opt batch_seen fp with
               | Some e when e.e_design == design -> e
-              | _ -> { e_design = design; e_state = Atomic.make (Session.Partial partial) }
+              | _ ->
+                  {
+                    e_design = design;
+                    e_state = Atomic.make (Session.Partial partial);
+                    e_from_disk = false;
+                  }
             in
             Atomic.set e.e_state
               (if partial.Cost.feasible then Session.Partial partial else Session.Full partial);

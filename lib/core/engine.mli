@@ -39,6 +39,7 @@ type counters = Session.counters = {
   power_sims : int;  (** trace simulations actually run *)
   power_skipped : int;  (** simulations avoided by the staged bound *)
   batches : int;  (** [best_of] calls *)
+  disk_hits : int;  (** cache hits served by persisted entries ([Session.load_into]) *)
   wall_s : float;  (** wall time spent inside the engine *)
 }
 

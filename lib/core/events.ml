@@ -28,6 +28,9 @@ type payload =
     }
   | Context_finished of { index : int; feasible : bool }
   | Checkpoint_saved of { path : string; contexts_done : int }
+  | Cache_loaded of { dir : string; entries : int; warning : string option }
+  | Cache_saved of { dir : string; entries : int; warning : string option }
+  | Strategy_finished of { strategy : int; completed : bool; winner : bool }
   | Budget_exhausted of { reason : string }
   | Run_finished of {
       completed : bool;
@@ -51,6 +54,9 @@ let kind_name = function
   | New_incumbent _ -> "new_incumbent"
   | Context_finished _ -> "context_finished"
   | Checkpoint_saved _ -> "checkpoint_saved"
+  | Cache_loaded _ -> "cache_loaded"
+  | Cache_saved _ -> "cache_saved"
+  | Strategy_finished _ -> "strategy_finished"
   | Budget_exhausted _ -> "budget_exhausted"
   | Run_finished _ -> "run_finished"
 
@@ -76,6 +82,18 @@ let to_string { at_s; payload } =
         Printf.sprintf "context %d finished (%s)" (e.index + 1)
           (if e.feasible then "feasible" else "infeasible")
     | Checkpoint_saved e -> Printf.sprintf "checkpoint saved to %s (%d contexts done)" e.path e.contexts_done
+    | Cache_loaded e -> (
+        match e.warning with
+        | Some w -> Printf.sprintf "cache load from %s skipped: %s" e.dir w
+        | None -> Printf.sprintf "cache loaded from %s (%d entries)" e.dir e.entries)
+    | Cache_saved e -> (
+        match e.warning with
+        | Some w -> Printf.sprintf "cache save to %s failed: %s" e.dir w
+        | None -> Printf.sprintf "cache saved to %s (%d entries)" e.dir e.entries)
+    | Strategy_finished e ->
+        Printf.sprintf "strategy %d %s%s" e.strategy
+          (if e.completed then "completed" else "stopped")
+          (if e.winner then " (winner)" else "")
     | Budget_exhausted e -> Printf.sprintf "budget exhausted (%s)" e.reason
     | Run_finished e ->
         Printf.sprintf "run finished: %s, %d/%d contexts, %.2fs"
@@ -131,6 +149,24 @@ let to_json_value ({ at_s; payload } as _t) =
     | Context_finished e -> [ ("index", Json.Int e.index); ("feasible", Json.Bool e.feasible) ]
     | Checkpoint_saved e ->
         [ ("path", Json.String e.path); ("contexts_done", Json.Int e.contexts_done) ]
+    | Cache_loaded e ->
+        [
+          ("dir", Json.String e.dir);
+          ("entries", Json.Int e.entries);
+          ("warning", match e.warning with Some w -> Json.String w | None -> Json.Null);
+        ]
+    | Cache_saved e ->
+        [
+          ("dir", Json.String e.dir);
+          ("entries", Json.Int e.entries);
+          ("warning", match e.warning with Some w -> Json.String w | None -> Json.Null);
+        ]
+    | Strategy_finished e ->
+        [
+          ("strategy", Json.Int e.strategy);
+          ("completed", Json.Bool e.completed);
+          ("winner", Json.Bool e.winner);
+        ]
     | Budget_exhausted e -> [ ("reason", Json.String e.reason) ]
     | Run_finished e ->
         [

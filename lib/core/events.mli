@@ -45,6 +45,17 @@ type payload =
     }  (** a context finished with the best feasible design so far *)
   | Context_finished of { index : int; feasible : bool }
   | Checkpoint_saved of { path : string; contexts_done : int }
+  | Cache_loaded of { dir : string; entries : int; warning : string option }
+      (** the persistent cost cache under [dir] was loaded into the
+          run's session ([entries] added), or skipped with a warning
+          (corrupt/version-mismatched file — the run continues cold) *)
+  | Cache_saved of { dir : string; entries : int; warning : string option }
+      (** the session cost cache was snapshotted to [dir] after the
+          run, or the write failed with a warning *)
+  | Strategy_finished of { strategy : int; completed : bool; winner : bool }
+      (** one racer of a {!Synthesize.portfolio} run finished;
+          [completed] means it ran its full deterministic sweep (losers
+          are cancelled and report [completed = false]) *)
   | Budget_exhausted of { reason : string }
   | Run_finished of {
       completed : bool;

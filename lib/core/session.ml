@@ -14,6 +14,7 @@ type counters = {
   power_sims : int;
   power_skipped : int;
   batches : int;
+  disk_hits : int;
   wall_s : float;
 }
 
@@ -27,6 +28,7 @@ let zero =
     power_sims = 0;
     power_skipped = 0;
     batches = 0;
+    disk_hits = 0;
     wall_s = 0.;
   }
 
@@ -40,6 +42,7 @@ let add a b =
     power_sims = a.power_sims + b.power_sims;
     power_skipped = a.power_skipped + b.power_skipped;
     batches = a.batches + b.batches;
+    disk_hits = a.disk_hits + b.disk_hits;
     wall_s = a.wall_s +. b.wall_s;
   }
 
@@ -53,6 +56,7 @@ let sub a b =
     power_sims = a.power_sims - b.power_sims;
     power_skipped = a.power_skipped - b.power_skipped;
     batches = a.batches - b.batches;
+    disk_hits = a.disk_hits - b.disk_hits;
     wall_s = a.wall_s -. b.wall_s;
   }
 
@@ -60,11 +64,11 @@ let rate num denom = if denom <= 0 then 0. else 100. *. Float.of_int num /. Floa
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "gen %d  eval %d  cache %d/%d (%.1f%% hit)  evict %d  sims %d  skipped %d (%.1f%%)  batches %d  %.3fs"
+    "gen %d  eval %d  cache %d/%d (%.1f%% hit)  disk %d  evict %d  sims %d  skipped %d (%.1f%%)  batches %d  %.3fs"
     c.generated c.evaluated c.cache_hits
     (c.cache_hits + c.cache_misses)
     (rate c.cache_hits (c.cache_hits + c.cache_misses))
-    c.evictions c.power_sims c.power_skipped
+    c.disk_hits c.evictions c.power_sims c.power_skipped
     (rate c.power_skipped (c.power_sims + c.power_skipped))
     c.batches c.wall_s
 
@@ -83,7 +87,11 @@ let pp_counters ppf c =
 
 type entry_state = Partial of Cost.eval | Full of Cost.eval
 
-type entry = { e_design : Design.t; e_state : entry_state Atomic.t }
+(* [e_from_disk] marks entries repopulated from a persistent cache file
+   (see [load_into]); engines count hits on them separately so warm
+   starts are observable ([disk_hits]). It changes accounting only,
+   never lookup semantics. *)
+type entry = { e_design : Design.t; e_state : entry_state Atomic.t; e_from_disk : bool }
 
 let entry_eval e = match Atomic.get e.e_state with Partial v | Full v -> v
 
@@ -198,6 +206,91 @@ let cost_find cache fp design =
 
 let cost_insert cache fp e = Cost_tbl.set cache fp e
 let cost_size cache = Cost_tbl.length cache
+
+(* -- persistence -------------------------------------------------------- *)
+
+(* Snapshot every live context cache into one [Cache_file] payload per
+   library (the on-disk partition key is the library's content digest;
+   in memory libraries are compared physically, which cannot survive a
+   process boundary). Entries are collected first and written after, so
+   no shard lock is held across disk I/O. *)
+let save t ~dir =
+  let by_digest = Hashtbl.create 4 in
+  Ctx_tbl.iter
+    (fun key cache ->
+      let entries = ref [] in
+      Cost_tbl.iter
+        (fun fp e ->
+          let se_full, se_eval =
+            match Atomic.get e.e_state with Full v -> (true, v) | Partial v -> (false, v)
+          in
+          entries :=
+            { Cache_file.se_fp = fp; se_design = e.e_design; se_full; se_eval } :: !entries)
+        cache;
+      let sc =
+        {
+          Cache_file.sc_vdd = key.k_vdd;
+          sc_clk_ns = key.k_clk_ns;
+          sc_cs = key.k_cs;
+          sc_sampling_ns = key.k_sampling_ns;
+          sc_trace = key.k_trace;
+          sc_entries = !entries;
+        }
+      in
+      let dg = Cache_file.lib_digest key.k_lib in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_digest dg) in
+      Hashtbl.replace by_digest dg (sc :: prev))
+    t.contexts;
+  Hashtbl.fold
+    (fun dg ctxs acc ->
+      match acc with
+      | Error _ as e -> e
+      | Ok n -> (
+          match Cache_file.save ~dir ~lib_digest:dg ctxs with
+          | Ok () ->
+              Ok
+                (n
+                + List.fold_left
+                    (fun a (c : Cache_file.saved_context) -> a + List.length c.sc_entries)
+                    0 ctxs)
+          | Error _ as e -> e))
+    by_digest (Ok 0)
+
+let load_into ?(capacity = 4096) t ~lib ~dir =
+  match Cache_file.load ~dir ~lib_digest:(Cache_file.lib_digest lib) with
+  | Error _ as e -> e
+  | Ok None -> Ok 0
+  | Ok (Some ctxs) ->
+      let n = ref 0 in
+      List.iter
+        (fun (c : Cache_file.saved_context) ->
+          let ctx = { Design.lib; vdd = c.sc_vdd; clk_ns = c.sc_clk_ns } in
+          let cache =
+            cost_cache t ~capacity ~ctx ~cs:c.sc_cs ~sampling_ns:c.sc_sampling_ns
+              ~trace:c.sc_trace
+          in
+          List.iter
+            (fun (e : Cache_file.saved_entry) ->
+              (* Never clobber a live entry; disk only fills gaps. A
+                 mis-fingerprinted entry (corruption, collision) is
+                 harmless: [cost_find] verifies the stored design
+                 structurally on every probe. *)
+              match Cost_tbl.find_opt cache e.se_fp with
+              | Some _ -> ()
+              | None ->
+                  incr n;
+                  ignore
+                    (cost_insert cache e.se_fp
+                       {
+                         e_design = e.se_design;
+                         e_state =
+                           Atomic.make
+                             (if e.se_full then Full e.se_eval else Partial e.se_eval);
+                         e_from_disk = true;
+                       }))
+            c.sc_entries)
+        ctxs;
+      Ok !n
 
 (* -- statistics --------------------------------------------------------- *)
 

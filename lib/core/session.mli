@@ -49,6 +49,7 @@ type counters = {
   power_sims : int;
   power_skipped : int;
   batches : int;
+  disk_hits : int;  (** cache hits served by entries loaded from disk *)
   wall_s : float;
 }
 
@@ -103,7 +104,9 @@ val reset_totals : t -> unit
 
 type entry_state = Partial of Cost.eval | Full of Cost.eval
 
-type entry = { e_design : Design.t; e_state : entry_state Atomic.t }
+type entry = { e_design : Design.t; e_state : entry_state Atomic.t; e_from_disk : bool }
+(** [e_from_disk] marks entries repopulated by {!load_into}; hits on
+    them are counted as [disk_hits] in addition to [cache_hits]. *)
 
 val entry_eval : entry -> Cost.eval
 
@@ -131,6 +134,30 @@ val cost_insert : cost_cache -> int64 -> entry -> int
     number of entries evicted to make room. *)
 
 val cost_size : cost_cache -> int
+
+(** {1 Persistence}
+
+    The disk tier of ROADMAP item 2: {!save} snapshots every live
+    evaluation context's cost cache into a cache directory — one
+    content-addressed, versioned file per module library (see
+    {!Cache_file}) — and {!load_into} repopulates a (typically fresh)
+    session from it. Reloaded entries carry their design, so the
+    structural-verification guarantee survives the round trip: a
+    fingerprint collision against a disk-loaded entry degrades to
+    recomputation exactly like an in-memory one, and a warm run is
+    bit-identical to a cold run. *)
+
+val save : t -> dir:string -> (int, string) result
+(** Write one cache file per library under [dir] (created if missing),
+    atomically. Returns the number of entries persisted. *)
+
+val load_into : ?capacity:int -> t -> lib:Hsyn_modlib.Library.t -> dir:string -> (int, string) result
+(** Repopulate [t] from the cache file for [lib] under [dir]. [Ok 0]
+    when no file exists (a cold start); [Error _] for unreadable,
+    version-mismatched or foreign files — callers log a warning and
+    continue cold, never fail the run. Live entries are never
+    overwritten. [capacity] (default 4096, matching
+    [Engine.default_policy]) sizes context caches created here. *)
 
 (** {1 Statistics and export} *)
 

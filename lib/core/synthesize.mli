@@ -16,9 +16,10 @@
     observable through {!Events} and interrupted sweeps are resumable
     through {!Checkpoint}.
 
-    {!run} and {!run_flat} remain as thin shims over the request API
-    for existing callers; new code should prefer
-    {!Request.make} + {!synthesize}. *)
+    {!portfolio} races several deterministic variants of one request
+    (different sweep orders via {!config.strategy}) on a shared
+    session, first-to-complete wins; {!synthesize}'s [cache_dir] gives
+    runs a persistent warm start (see {!Session.save}). *)
 
 module Design = Hsyn_rtl.Design
 module Dfg = Hsyn_dfg.Dfg
@@ -42,6 +43,12 @@ type config = {
   engine : Engine.policy;
       (** evaluation-engine policy (jobs, cache capacity, staging) used
           by every improvement run of this synthesis *)
+  strategy : int;
+      (** deterministic permutation of the (vdd, clock) sweep order:
+          0 (default) is the canonical order; [s] rotates the walk by
+          [s] contexts, reversing direction on odd [s]. Every strategy
+          explores the same context set — {!portfolio} races
+          consecutive strategies *)
 }
 
 val default_config : config
@@ -71,6 +78,7 @@ module Config : sig
     ?enable_split:bool ->
     ?clib_effort:Clib.effort ->
     ?engine:Engine.policy ->
+    ?strategy:int ->
     unit ->
     (t, string) result
   (** Build and {!validate} in one step; unspecified fields come from
@@ -97,6 +105,7 @@ module Config : sig
   val with_split : bool -> t -> t
   val with_clib_effort : Clib.effort -> t -> t
   val with_engine : Engine.policy -> t -> t
+  val with_strategy : int -> t -> t
 end
 
 val min_sampling_ns : Library.t -> Registry.t -> Dfg.t -> float
@@ -145,8 +154,10 @@ module Request : sig
 
   val plan : t -> (float * float * int) list
   (** The deterministic [(vdd, clk_ns, deadline_cycles)] walk order of
-      the sweep, after voltage pruning and clock spreading. Checkpoint
-      cursors index into exactly this list. *)
+      the sweep, after voltage pruning, clock spreading, and the
+      {!config.strategy} permutation. Checkpoint cursors index into
+      exactly this list, so checkpoints only resume under the same
+      strategy (like [seed]). *)
 end
 
 type coverage = {
@@ -193,6 +204,7 @@ val synthesize :
   ?token:Budget.token ->
   ?checkpoint:string ->
   ?resume:bool ->
+  ?cache_dir:string ->
   Request.t ->
   (result, string) Stdlib.result
 (** Run the sweep described by the request.
@@ -204,6 +216,13 @@ val synthesize :
     snapshot after every finished context; with [resume] set, a
     compatible snapshot at that path seeds the sweep (a missing file is
     a cold start, so [--resume] can be passed unconditionally).
+    [cache_dir] names a persistent cost-cache directory: the run's
+    session is warm-started from it before the sweep ({!Events.payload.Cache_loaded})
+    and snapshotted back after ({!Events.payload.Cache_saved}). A warm
+    run is bit-identical to a cold one — disk entries, like shared
+    in-memory entries, only change which computations run — and an
+    unreadable or version-mismatched cache file is skipped with a
+    warning, never an error.
 
     Returns [Error _] for an invalid request, an incompatible
     checkpoint, or when no feasible design was found before the sweep
@@ -212,33 +231,27 @@ val synthesize :
     bit-identical results with uninterrupted ones because checkpoints
     only store fully-finished contexts. *)
 
-val run :
-  ?config:config ->
-  lib:Library.t ->
-  Registry.t ->
-  Dfg.t ->
-  Cost.objective ->
-  sampling_ns:float ->
-  result
-[@@deprecated "use Request.make + synthesize"]
-(** Legacy shim: hierarchical synthesis of the behavior under a
-    sampling-period constraint, unbudgeted. Prefer {!Request.make} +
-    {!synthesize} in new code.
-    @raise Failure if the config is invalid or no context yields a
-    feasible design. *)
-
-val run_flat :
-  ?config:config ->
-  lib:Library.t ->
-  Registry.t ->
-  Dfg.t ->
-  Cost.objective ->
-  sampling_ns:float ->
-  result
-[@@deprecated "use Request.make + synthesize"]
-(** The flattened baseline ([10]): flatten the hierarchy, then run the
-    same engine (moves B and the complex-module machinery never
-    trigger on a flat graph). Legacy shim like {!run}. *)
+val portfolio :
+  ?events:Events.sink ->
+  ?token:Budget.token ->
+  ?cache_dir:string ->
+  n:int ->
+  Request.t ->
+  (result, string) Stdlib.result
+(** Race [n] (clamped to 16; [n <= 1] degenerates to {!synthesize})
+    deterministic strategies of this request — {!config.strategy},
+    [strategy + 1], … [strategy + n - 1] — each on its own domain, all
+    sharing one memoization session (the request's, or a fresh one) so
+    racers reuse each other's evaluations. Each racer runs under its
+    own {!Budget} token started from the request's budget; the first to
+    {e complete} its full sweep wins and cancels the rest, so the
+    returned result is exactly what the winning strategy produces run
+    solo with the same seed (the shared-session bit-identity
+    guarantee). If no racer completes — deadline, quota, or a
+    cancellation of [token], which is propagated — the best feasible
+    partial result is returned (best-effort, like any interrupted
+    {!synthesize}). Emits {!Events.payload.Strategy_finished} per racer;
+    forwarded racer events interleave in wall-clock order. *)
 
 val rescale_vdd :
   ?config:config -> ?session:Session.t -> result -> Hsyn_modlib.Voltage.t list -> result

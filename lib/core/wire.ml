@@ -225,6 +225,7 @@ let config_to_json (c : Synthesize.Config.t) =
       ("enable_split", Json.Bool c.Synthesize.enable_split);
       ("clib", effort_to_json c.Synthesize.clib_effort);
       ("engine", policy_to_json c.Synthesize.engine);
+      ("strategy", Json.Int c.Synthesize.strategy);
     ]
 
 let config_of_json v =
@@ -279,6 +280,9 @@ let config_of_json v =
         | "engine" ->
             let* p = policy_of_json c.Synthesize.engine v in
             Ok { c with Synthesize.engine = p }
+        | "strategy" ->
+            let* n = as_int v in
+            Ok { c with Synthesize.strategy = n }
         | _ -> Error "unknown field")
   in
   Synthesize.Config.validate c
@@ -331,11 +335,14 @@ type doc = {
   flatten : bool;
   config : Synthesize.Config.t;
   budget : Budget.t;
+  portfolio : int;
+  cache : string option;
 }
 
 let make_doc ?(objective = Cost.Area) ?(timing = Laxity 2.2) ?(flatten = false)
-    ?(config = Synthesize.Config.default) ?(budget = Budget.unlimited) source =
-  { source; objective; timing; flatten; config; budget }
+    ?(config = Synthesize.Config.default) ?(budget = Budget.unlimited) ?(portfolio = 1) ?cache
+    source =
+  { source; objective; timing; flatten; config; budget; portfolio; cache }
 
 let source_to_json = function
   | Bench name -> Json.Obj [ ("bench", Json.String name) ]
@@ -390,16 +397,18 @@ let timing_of_json v =
 
 let doc_to_json d =
   Json.Obj
-    [
-      ("kind", Json.String "hsyn.request");
+    ([
+       ("kind", Json.String "hsyn.request");
       ("schema_version", Json.Int schema_version);
-      ("source", source_to_json d.source);
-      ("objective", Json.String (Cost.objective_name d.objective));
-      ("timing", timing_to_json d.timing);
-      ("mode", Json.String (if d.flatten then "flat" else "hier"));
-      ("config", config_to_json d.config);
-      ("budget", budget_to_json d.budget);
-    ]
+       ("source", source_to_json d.source);
+       ("objective", Json.String (Cost.objective_name d.objective));
+       ("timing", timing_to_json d.timing);
+       ("mode", Json.String (if d.flatten then "flat" else "hier"));
+       ("config", config_to_json d.config);
+       ("budget", budget_to_json d.budget);
+     ]
+    @ (if d.portfolio > 1 then [ ("portfolio", Json.Int d.portfolio) ] else [])
+    @ match d.cache with None -> [] | Some dir -> [ ("cache", Json.String dir) ])
 
 let doc_of_json v =
   let* fields = as_obj "request" v in
@@ -436,6 +445,16 @@ let doc_of_json v =
         | "budget" ->
             let* b = budget_of_json v in
             Ok (kind, version, { doc with budget = b })
+        | "portfolio" ->
+            let* n = as_int v in
+            if n >= 1 then Ok (kind, version, { doc with portfolio = n })
+            else err "portfolio must be >= 1 (got %d)" n
+        | "cache" -> (
+            match v with
+            | Json.Null -> Ok (kind, version, { doc with cache = None })
+            | v ->
+                let* dir = as_string v in
+                Ok (kind, version, { doc with cache = Some dir }))
         | _ -> Error "unknown field")
   in
   match (kind, version) with

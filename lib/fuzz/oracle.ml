@@ -314,6 +314,48 @@ let check_session rng (prog : Text.program) =
   else Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* cache: a session cache saved to disk and reloaded into a fresh     *)
+(* session leaves the rerun bit-identical to the cold run.            *)
+
+let check_cache rng (prog : Text.program) =
+  let seed = Rng.int rng 1_000_000 in
+  let* req = small_request ~seed prog in
+  let cold = S.synthesize req in
+  let dir = Filename.temp_file "hsyn_fuzz_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let cleanup () =
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir)
+     with Sys_error _ -> ());
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      (* run A populates and persists its session's cost cache; the
+         cache flag itself must not change the answer *)
+      let saver = S.synthesize ~cache_dir:dir req in
+      let* () =
+        if same_outcome cold saver then Ok ()
+        else fail "run with cache_dir %s <> plain run %s" (pp_outcome saver) (pp_outcome cold)
+      in
+      (* reload into a fresh session and rerun: disk-warmed entries, like
+         shared in-memory ones, only change which computations run *)
+      let session = Hsyn_core.Session.create () in
+      match Hsyn_core.Session.load_into session ~lib:Library.default ~dir with
+      | Error e -> fail "reload of the saved cache failed: %s" e
+      | Ok _loaded ->
+          let* warm_req =
+            S.Request.make ~config:req.S.Request.config ~session ~lib:Library.default
+              ~registry:prog.Text.registry ~dfg:req.S.Request.dfg ~objective:Cost.Power
+              ~sampling_ns:req.S.Request.sampling_ns ()
+          in
+          let warm = S.synthesize warm_req in
+          if same_outcome cold warm then Ok ()
+          else fail "warm-started %s <> cold %s" (pp_outcome warm) (pp_outcome cold))
+
+(* ------------------------------------------------------------------ *)
 (* jobs: results do not depend on the worker count, and the pool maps *)
 (* deterministically under exceptions.                                *)
 
@@ -462,6 +504,11 @@ let all =
       name = "session";
       doc = "synthesis on a shared pre-warmed session ≡ fresh session";
       check = check_session;
+    };
+    {
+      name = "cache";
+      doc = "save/reload of the persisted cost cache leaves a rerun ≡ cold run";
+      check = check_cache;
     };
     { name = "jobs"; doc = "synthesis result independent of --jobs; pool exception discipline"; check = check_jobs };
     {

@@ -287,7 +287,16 @@ let handle_conn (t : t) worker_id fd =
                 try Report.Sink.line sink (Events.to_json ev)
                 with _ -> Budget.cancel token
               in
-              (match Synthesize.synthesize ~events ~token req with
+              (* [doc.cache] is deliberately ignored: the daemon's
+                 persistent cache location is operator-controlled
+                 ([hsyn serve --cache]), never client-controlled.
+                 [doc.portfolio] is honored, clamped so one request
+                 cannot fan out unboundedly on top of the worker pool. *)
+              (match
+                 (if doc.Wire.portfolio > 1 then
+                    Synthesize.portfolio ~events ~token ~n:(min doc.Wire.portfolio 4) req
+                  else Synthesize.synthesize ~events ~token req)
+               with
               | Ok r ->
                   Atomic.incr t.completed;
                   Metrics.incr t.c_completed;
@@ -489,7 +498,11 @@ let solo_final ?session cfg doc =
   match Wire.to_request ?session ~resolve_bench:cfg.resolve_bench ~lib:cfg.lib doc with
   | Error msg -> error_line Wire.Bad_request msg
   | Ok req -> (
-      match Synthesize.synthesize req with
+      match
+        (if doc.Wire.portfolio > 1 then
+           Synthesize.portfolio ~n:(min doc.Wire.portfolio 4) req
+         else Synthesize.synthesize req)
+      with
       | Ok r -> Synthesize.Result.to_json r
       | Error msg -> error_line Wire.Failed msg)
 
