@@ -1006,6 +1006,9 @@ let obs_section () =
     [
       Test.make ~name:"disabled-span"
         (Staged.stage (fun () -> Obs.Trace.span Obs.Trace.Schedule "obs_noop" (fun () -> ())));
+      (* a filtered log call (debug under the default warn threshold)
+         must share the same one-atomic-load budget *)
+      Test.make ~name:"disabled-log" (Staged.stage (fun () -> Obs.Log.debug "obs_noop"));
     ]
   in
   let ols = Bm.Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Bm.Measure.run |] in
@@ -1013,13 +1016,13 @@ let obs_section () =
   let cfg = Bm.Benchmark.cfg ~limit:2000 ~quota:(Bm.Time.second 0.5) ~kde:None () in
   let raw = Bm.Benchmark.all cfg instances (Test.make_grouped ~name:"obs" tests) in
   let results = Bm.Analyze.all ols Bm.Toolkit.Instance.monotonic_clock raw in
-  let probe_ns =
-    match
-      Hashtbl.fold (fun k v acc -> if k = "obs/disabled-span" then Some v else acc) results None
-    with
+  let estimate key =
+    match Hashtbl.fold (fun k v acc -> if k = key then Some v else acc) results None with
     | Some r -> ( match Bm.Analyze.OLS.estimates r with Some [ ns ] -> ns | _ -> nan)
     | None -> nan
   in
+  let probe_ns = estimate "obs/disabled-span" in
+  let log_probe_ns = estimate "obs/disabled-log" in
   let med runs = Stats.median (List.map snd runs) in
   let dis_med = med dis_runs and en_med = med en_runs in
   let enabled_overhead_pct = 100. *. ((en_med /. Float.max 1e-9 dis_med) -. 1.) in
@@ -1054,6 +1057,7 @@ let obs_section () =
       (if identical then "yes" else "NO");
     ];
   Table.print t;
+  Printf.printf "  filtered log call: %.1f ns (disabled span: %.1f ns)\n" log_probe_ns probe_ns;
   if not within_budget then
     Printf.printf
       "WARNING: disabled-path overhead bound %.4f%% exceeds the 2%% budget (probe %.1f ns)\n"
@@ -1070,6 +1074,7 @@ let obs_section () =
         ("enabled_s", Json.Float en_med);
         ("probes_per_run", Json.Int probes_per_run);
         ("probe_ns", Json.Float probe_ns);
+        ("log_probe_ns", Json.Float log_probe_ns);
         ("disabled_overhead_pct", Json.Float disabled_overhead_pct);
         ("enabled_overhead_pct", Json.Float enabled_overhead_pct);
         ("trace_dropped_events", Json.Int dropped);
@@ -1103,8 +1108,24 @@ let serve_section () =
   let module Gen = Hsyn_fuzz.Gen in
   let n_clients = 4 in
   let serve_cfg =
-    { Serve.default_config with Serve.max_inflight = 2; max_queue = 16; retry_after_s = 0.2 }
+    {
+      Serve.default_config with
+      Serve.max_inflight = 2;
+      max_queue = 16;
+      retry_after_s = 0.2;
+      (* exercise the full telemetry path under load: every synthesis
+         request outruns 250 ms here, so the slow-request log and the
+         recent-slow ring fill up *)
+      slow_ms = Some 250.0;
+    }
   in
+  (* route the daemon's structured log (one access record per request)
+     into an artifact next to the metrics snapshot *)
+  let module Log = Hsyn_obs.Log in
+  let module Report = Hsyn_obs.Report in
+  let log_sink = Report.Sink.create "serve.access.ndjson" in
+  Log.set_sink log_sink;
+  Log.set_level Log.Info;
   (* request mix: the two cheap suite benchmarks under both objectives,
      plus fuzz-generated programs shipped inline as textual DFGs *)
   let docs =
@@ -1281,7 +1302,21 @@ let serve_section () =
   output_string oc metrics_line;
   output_char oc '\n';
   close_out oc;
-  Printf.printf "  (written to BENCH_serve.json; metrics snapshot in serve.metrics.json)\n";
+  Log.set_level Log.Warn;
+  Log.set_sink (Report.Sink.of_channel stderr);
+  Report.Sink.close log_sink;
+  (* the live-scraped metrics line is exactly what [hsyn top] polls:
+     render one dashboard frame from it *)
+  let module Top = Hsyn_serve.Top in
+  (match Top.of_line ~at:(Unix.gettimeofday ()) metrics_line with
+  | Ok sample ->
+      Printf.printf "  hsyn top frame from the live scrape:\n";
+      String.split_on_char '\n' (Top.render sample)
+      |> List.iter (fun l -> if l <> "" then Printf.printf "    %s\n" l)
+  | Error msg -> Printf.printf "  WARNING: hsyn top could not render the scrape: %s\n" msg);
+  Printf.printf
+    "  (written to BENCH_serve.json; metrics snapshot in serve.metrics.json; access log in \
+     serve.access.ndjson)\n";
   Printf.printf
     "Reading: every request rides the daemon's shared session, yet each served final line\n\
      is byte-identical (modulo the elapsed_s / stats observability fields) to a solo run\n\

@@ -27,11 +27,13 @@ module Events = Hsyn_core.Events
 module S = Hsyn_core.Synthesize
 module Wire = Hsyn_core.Wire
 module Serve = Hsyn_serve.Serve
+module Top = Hsyn_serve.Top
 module Suite = Hsyn_benchmarks.Suite
 module Json = Hsyn_util.Json
 module Metrics = Hsyn_obs.Metrics
 module Trace = Hsyn_obs.Trace
 module Report = Hsyn_obs.Report
+module Log = Hsyn_obs.Log
 open Cmdliner
 
 (* [-b] accepts a comma-separated list of benchmarks; they are
@@ -739,19 +741,26 @@ let parse_tcp spec =
       | Some p when p >= 0 && p < 65536 -> Ok (Serve.Tcp ((if host = "" then "127.0.0.1" else host), p))
       | _ -> Error (Printf.sprintf "--tcp %S: bad port %S" spec port))
 
-let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s cache =
-  let addr =
-    match (socket, tcp) with
-    | Some path, None -> Ok (Serve.Unix_socket path)
-    | None, Some spec -> parse_tcp spec
-    | Some _, Some _ -> Error "pass either --socket or --tcp, not both"
-    | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
-  in
-  match addr with
+let resolve_listen_addr socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Ok (Serve.Unix_socket path)
+  | None, Some spec -> parse_tcp spec
+  | Some _, Some _ -> Error "pass either --socket or --tcp, not both"
+  | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
+
+let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s cache slow_ms log_file
+    log_level =
+  match resolve_listen_addr socket tcp with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
       1
   | Ok addr -> (
+      (* daemon logging: structured NDJSON records at info level by
+         default (libraries default to warn), optionally into a file *)
+      (match Log.level_of_string log_level with
+      | Some l -> Log.set_level l
+      | None -> prerr_endline (Printf.sprintf "hsyn: --log-level %S ignored" log_level));
+      (match log_file with None -> () | Some path -> Log.set_sink (Report.Sink.create path));
       let config =
         {
           Serve.default_config with
@@ -759,6 +768,7 @@ let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s cache
           max_queue = max 0 max_queue;
           max_request_s;
           retry_after_s;
+          slow_ms;
         }
       in
       (* the daemon's persistent cache is operator-controlled: the shared
@@ -769,8 +779,14 @@ let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s cache
       | None -> ()
       | Some dir -> (
           match Session.load_into session ~lib:config.Serve.lib ~dir with
-          | Ok n -> Format.eprintf "hsyn serve: cache %s: loaded %d entries@." dir n
-          | Error msg -> Format.eprintf "hsyn serve: cache %s: %s (cold start)@." dir msg));
+          | Ok n ->
+              Log.info
+                ~fields:[ ("dir", Json.String dir); ("entries", Json.Int n) ]
+                "cache loaded"
+          | Error msg ->
+              Log.warn
+                ~fields:[ ("dir", Json.String dir); ("error", Json.String msg) ]
+                "cache load failed; cold start"));
       match Serve.create ~session ~config addr with
       | Error msg ->
           prerr_endline ("hsyn: serve: " ^ msg);
@@ -791,8 +807,14 @@ let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s cache
             try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Serve.stop srv)))
             with Invalid_argument _ | Sys_error _ -> None
           in
-          Format.eprintf "hsyn serve: listening on %a (workers %d, queue %d)@." Serve.pp_address
-            (Serve.address srv) config.Serve.max_inflight config.Serve.max_queue;
+          Log.info
+            ~fields:
+              [
+                ("addr", Json.String (Format.asprintf "%a" Serve.pp_address (Serve.address srv)));
+                ("workers", Json.Int config.Serve.max_inflight);
+                ("queue", Json.Int config.Serve.max_queue);
+              ]
+            "listening";
           Serve.run srv;
           Sys.set_signal Sys.sigint prev_int;
           Option.iter (Sys.set_signal Sys.sigterm) prev_term;
@@ -800,12 +822,24 @@ let do_serve socket tcp max_inflight max_queue max_request_s retry_after_s cache
           | None -> ()
           | Some dir -> (
               match Session.save (Serve.session srv) ~dir with
-              | Ok n -> Format.eprintf "hsyn serve: cache %s: saved %d entries@." dir n
-              | Error msg -> Format.eprintf "hsyn serve: cache %s: save failed: %s@." dir msg));
+              | Ok n ->
+                  Log.info
+                    ~fields:[ ("dir", Json.String dir); ("entries", Json.Int n) ]
+                    "cache saved"
+              | Error msg ->
+                  Log.error
+                    ~fields:[ ("dir", Json.String dir); ("error", Json.String msg) ]
+                    "cache save failed"));
           let st = Serve.stats srv in
-          Format.eprintf
-            "hsyn serve: drained — %d accepted, %d completed, %d rejected, %d errors@."
-            st.Serve.accepted st.Serve.completed st.Serve.rejected st.Serve.errors;
+          Log.info
+            ~fields:
+              [
+                ("accepted", Json.Int st.Serve.accepted);
+                ("completed", Json.Int st.Serve.completed);
+                ("rejected", Json.Int st.Serve.rejected);
+                ("errors", Json.Int st.Serve.errors);
+              ]
+            "drained";
           0)
 
 let socket_arg =
@@ -861,6 +895,31 @@ let serve_cache_arg =
            Cache directives inside client request documents are ignored — the daemon's cache \
            location is operator-controlled.")
 
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Slow-request threshold: requests running longer than $(docv) log their own span tree \
+           at warn level and appear in the metrics scrape's recent-slow ring (this arms the \
+           tracer for the daemon's lifetime).")
+
+let serve_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured NDJSON log (access records, slow requests, lifecycle) to \
+           $(docv) instead of stderr.")
+
+let log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Log threshold: $(b,debug), $(b,info), $(b,warn) or $(b,error).")
+
 let serve_cmd =
   let doc = "run the multi-tenant synthesis daemon (NDJSON over a Unix/TCP socket)" in
   let man =
@@ -883,11 +942,67 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const do_serve $ socket_arg $ tcp_arg $ max_inflight_arg $ max_queue_arg
-      $ max_request_s_arg $ retry_after_arg $ serve_cache_arg)
+      $ max_request_s_arg $ retry_after_arg $ serve_cache_arg $ slow_ms_arg $ serve_log_arg
+      $ log_level_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top *)
+
+let do_top socket tcp interval once =
+  match resolve_listen_addr socket tcp with
+  | Error msg ->
+      prerr_endline ("hsyn: " ^ msg);
+      1
+  | Ok addr ->
+      let rec loop prev =
+        match Serve.Client.metrics ~timeout_s:10.0 addr with
+        | Error msg ->
+            prerr_endline ("hsyn top: " ^ msg);
+            1
+        | Ok line -> (
+            match Top.of_line ~at:(Unix.gettimeofday ()) line with
+            | Error msg ->
+                prerr_endline ("hsyn top: " ^ msg);
+                1
+            | Ok sample ->
+                (* home + clear, so a refresh repaints in place *)
+                if not once then print_string "\027[H\027[2J";
+                print_string (Top.render ?prev sample);
+                flush stdout;
+                if once then 0
+                else begin
+                  Unix.sleepf interval;
+                  loop (Some sample)
+                end)
+      in
+      loop None
+
+let top_interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+
+let top_once_arg =
+  Arg.(value & flag & info [ "once" ] ~doc:"Render a single frame and exit (no screen clear).")
+
+let top_cmd =
+  let doc = "live terminal dashboard for a running hsyn serve daemon" in
+  let man =
+    [
+      `S Cmdliner.Manpage.s_description;
+      `P
+        "Polls the daemon's metrics scrape endpoint and renders load, request rates, latency \
+         quantiles (from the $(b,serve.latency_ms) histogram), cache hit rates, per-family \
+         move commit/revert counts and the recent slow requests. Point it at the same \
+         $(b,--socket)/$(b,--tcp) address the daemon listens on.";
+    ]
+  in
+  Cmd.v (Cmd.info "top" ~doc ~man)
+    Term.(const do_top $ socket_arg $ tcp_arg $ top_interval_arg $ top_once_arg)
 
 let main =
   let doc = "hierarchical behavioral synthesis of power- and area-optimized circuits" in
   Cmd.group (Cmd.info "hsyn" ~version:"1.0.0" ~doc)
-    [ synth_cmd; report_cmd; list_cmd; library_cmd; dump_cmd; fuzz_cmd; serve_cmd ]
+    [ synth_cmd; report_cmd; list_cmd; library_cmd; dump_cmd; fuzz_cmd; serve_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -177,6 +177,16 @@ let to_json_value ({ at_s; payload } as _t) =
           ("result", Option.value ~default:Json.Null e.result);
         ]
   in
+  (* A served request runs under an Hsyn_obs.Scope on the driving
+     domain: tag its id onto every event line so a multiplexed event
+     stream (the daemon's --log, interleaved tests) stays attributable.
+     Solo runs carry no scope and their output is byte-identical to
+     before. *)
+  let fields =
+    match Hsyn_obs.Scope.current () with
+    | None -> fields
+    | Some s -> fields @ [ ("request_id", Json.Int s.Hsyn_obs.Scope.id) ]
+  in
   Json.Obj (("at_s", Json.Float at_s) :: ("event", Json.String (kind_name payload)) :: fields)
 
 let to_json t = Json.to_string (to_json_value t)

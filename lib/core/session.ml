@@ -332,9 +332,15 @@ let export_metrics t =
       g "misses" (Float.of_int st.Shard_tbl.misses);
       g "evictions" (Float.of_int st.Shard_tbl.evictions);
       g "size" (Float.of_int st.Shard_tbl.size);
-      Array.iteri
-        (fun i occ -> g (Printf.sprintf "shard%d.size" i) (Float.of_int occ))
-        st.Shard_tbl.occupancy
+      (* Shard balance as two aggregates rather than one gauge per
+         shard: a per-shard series scales the export with the shard
+         count (16 per table x 3 tables) while all a reader ever did
+         with it was eyeball the spread. *)
+      let occ = st.Shard_tbl.occupancy in
+      if Array.length occ > 0 then begin
+        g "shard_min" (Float.of_int (Array.fold_left min occ.(0) occ));
+        g "shard_max" (Float.of_int (Array.fold_left max occ.(0) occ))
+      end
     in
     table "cost" s.cost_tbl;
     table "prepared" s.prepared_tbl;

@@ -337,12 +337,13 @@ type doc = {
   budget : Budget.t;
   portfolio : int;
   cache : string option;
+  tenant : string option;
 }
 
 let make_doc ?(objective = Cost.Area) ?(timing = Laxity 2.2) ?(flatten = false)
     ?(config = Synthesize.Config.default) ?(budget = Budget.unlimited) ?(portfolio = 1) ?cache
-    source =
-  { source; objective; timing; flatten; config; budget; portfolio; cache }
+    ?tenant source =
+  { source; objective; timing; flatten; config; budget; portfolio; cache; tenant }
 
 let source_to_json = function
   | Bench name -> Json.Obj [ ("bench", Json.String name) ]
@@ -408,7 +409,8 @@ let doc_to_json d =
        ("budget", budget_to_json d.budget);
      ]
     @ (if d.portfolio > 1 then [ ("portfolio", Json.Int d.portfolio) ] else [])
-    @ match d.cache with None -> [] | Some dir -> [ ("cache", Json.String dir) ])
+    @ (match d.cache with None -> [] | Some dir -> [ ("cache", Json.String dir) ])
+    @ match d.tenant with None -> [] | Some t -> [ ("tenant", Json.String t) ])
 
 let doc_of_json v =
   let* fields = as_obj "request" v in
@@ -455,6 +457,13 @@ let doc_of_json v =
             | v ->
                 let* dir = as_string v in
                 Ok (kind, version, { doc with cache = Some dir }))
+        | "tenant" -> (
+            match v with
+            | Json.Null -> Ok (kind, version, { doc with tenant = None })
+            | v ->
+                let* t = as_string v in
+                if t = "" then Error "tenant must be non-empty"
+                else Ok (kind, version, { doc with tenant = Some t }))
         | _ -> Error "unknown field")
   in
   match (kind, version) with

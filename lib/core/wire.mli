@@ -97,6 +97,12 @@ type doc = {
       (** persistent cost-cache directory for warm starts. Honored by
           the CLI; the daemon ignores a client-supplied value (its
           cache location is operator-controlled via [serve --cache]) *)
+  tenant : string option;
+      (** optional caller identity, purely observational: the daemon
+          labels its per-request metrics and log records with it
+          (DESIGN.md §11). Never influences the synthesis result.
+          Serialized only when present, so existing documents are
+          unchanged *)
 }
 
 val make_doc :
@@ -107,10 +113,12 @@ val make_doc :
   ?budget:Budget.t ->
   ?portfolio:int ->
   ?cache:string ->
+  ?tenant:string ->
   source ->
   doc
 (** Defaults: area objective, laxity 2.2, hierarchical mode, default
-    config, unlimited budget, portfolio 1, no cache directory. *)
+    config, unlimited budget, portfolio 1, no cache directory, no
+    tenant. *)
 
 val doc_to_json : doc -> Json.t
 (** One [{"kind":"hsyn.request","schema_version":…}] object — the

@@ -11,6 +11,14 @@ let metrics_flag = Atomic.make false
 let profile_flag = Atomic.make false
 let armed = Atomic.make false
 
+(* Threshold of the structured logger (see Log.level): a record is
+   emitted when its level's integer is >= this value, so a filtered
+   [Log.debug] costs exactly this one atomic load. Kept here rather
+   than in Log so the whole disabled-path budget of the observability
+   layer lives in one module. Default 2 = warn: libraries are quiet,
+   the serve CLI lowers it to info. *)
+let log_level = Atomic.make 2
+
 let refresh () =
   Atomic.set armed
     (Atomic.get trace_flag || Atomic.get metrics_flag || Atomic.get profile_flag)

@@ -9,6 +9,12 @@
 val armed : bool Atomic.t
 (** [trace || metrics || profile]; read-only for probes. *)
 
+val log_level : int Atomic.t
+(** Integer threshold of the structured logger ({!Log.level_int}
+    ordering: debug 0 … error 3; default 2 = warn). A filtered log
+    call costs exactly this one atomic load. Set via
+    {!Log.set_level}. *)
+
 val set_trace : bool -> unit
 val set_metrics : bool -> unit
 

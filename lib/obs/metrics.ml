@@ -1,5 +1,6 @@
 (* Unified metrics registry: named counters, float accumulators, gauges
-   and fixed-bucket histograms.
+   and fixed-bucket histograms, optionally carrying a low-cardinality
+   label dimension.
 
    Domain-safety follows the worker-pool model: writers bump a
    per-domain shard (found or CAS-appended in a lock-free list), so the
@@ -9,10 +10,20 @@
    map_array has joined (the only way the synthesis code reads) sees
    exact totals.
 
-   Handles are registered by name in a process-wide registry; the
-   versioned JSON {!snapshot} is the single machine-readable export
+   Handles are registered by full name in a process-wide registry. A
+   labeled handle's full name is [base{k="v",...}] with keys sorted —
+   the key the snapshot exports, so labeled series merge into the
+   existing schema without a new section. Label sets are interned and
+   capped per base name (max_label_sets): once a base has that many
+   distinct label sets, further new label sets collapse into the
+   reserved [base{overflow="true"}] series, so a hostile or buggy
+   labeler (e.g. unbounded tenant names) degrades accuracy, never
+   memory.
+
+   The versioned JSON {!snapshot} is the single machine-readable export
    (written by [hsyn synth --metrics], teed into the flight-recorder
-   NDJSON, consumed by [hsyn report]). *)
+   NDJSON, consumed by [hsyn report]); {!Prom} renders the same
+   registry as Prometheus text exposition for the serve daemon. *)
 
 module Json = Hsyn_util.Json
 
@@ -20,6 +31,39 @@ let set_enabled = Gate.set_metrics
 let is_enabled = Gate.metrics_enabled
 
 let schema_version = 1
+
+(* -- names and labels -------------------------------------------------- *)
+
+type labels = (string * string) list
+
+let max_label_sets = 64
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"") labels)
+
+let render_name base labels =
+  match labels with [] -> base | ls -> base ^ "{" ^ render_labels ls ^ "}"
+
+type id = { base : string; labels : labels; full : string }
+
+let make_id base labels =
+  let labels = List.stable_sort (fun (a, _) (b, _) -> compare a b) labels in
+  { base; labels; full = render_name base labels }
+
+let overflow_labels = [ ("overflow", "true") ]
+let overflow_id base = make_id base overflow_labels
 
 (* -- lock-free per-domain shard lists ---------------------------------- *)
 
@@ -65,9 +109,9 @@ let rec fmax (a : float Atomic.t) x =
 
 (* -- metric kinds ------------------------------------------------------ *)
 
-type counter = { c_name : string; c_shards : int Atomic.t shards }
-type fcounter = { f_name : string; f_shards : float Atomic.t shards }
-type gauge = { g_name : string; g_cell : float option Atomic.t }
+type counter = { c_id : id; c_shards : int Atomic.t shards }
+type fcounter = { f_id : id; f_shards : float Atomic.t shards }
+type gauge = { g_id : id; g_cell : float option Atomic.t }
 
 type hshard = {
   h_buckets : int Atomic.t array;  (* one per upper edge, plus +inf overflow *)
@@ -77,74 +121,89 @@ type hshard = {
   h_max : float Atomic.t;
 }
 
-type histogram = { h_name : string; h_edges : float array; h_shards : hshard shards }
+type histogram = { h_id : id; h_edges : float array; h_shards : hshard shards }
 
 type metric = C of counter | F of fcounter | G of gauge | H of histogram
 
-let metric_name = function
-  | C c -> c.c_name
-  | F f -> f.f_name
-  | G g -> g.g_name
-  | H h -> h.h_name
+let metric_id = function C c -> c.c_id | F f -> f.f_id | G g -> g.g_id | H h -> h.h_id
+let metric_name m = (metric_id m).full
 
 (* -- registry ---------------------------------------------------------- *)
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* distinct label sets registered per base name, for the cardinality
+   cap; the reserved overflow series is not counted *)
+let label_sets : (string, int) Hashtbl.t = Hashtbl.create 16
 let registry_lock = Mutex.create ()
 
-let intern name mk classify =
+(* under registry_lock *)
+let admit_id id =
+  if id.labels = [] || Hashtbl.mem registry id.full || id.labels = overflow_labels then id
+  else
+    let n = Option.value ~default:0 (Hashtbl.find_opt label_sets id.base) in
+    if n >= max_label_sets then overflow_id id.base
+    else begin
+      Hashtbl.replace label_sets id.base (n + 1);
+      id
+    end
+
+let intern id mk classify =
   Mutex.lock registry_lock;
+  let id = admit_id id in
   let r =
-    match Hashtbl.find_opt registry name with
+    match Hashtbl.find_opt registry id.full with
     | Some m -> (
         match classify m with
         | Some v -> v
         | None ->
             Mutex.unlock registry_lock;
-            invalid_arg (Printf.sprintf "Metrics: %S already registered with another kind" name))
+            invalid_arg
+              (Printf.sprintf "Metrics: %S already registered with another kind" id.full))
     | None ->
-        let m, v = mk () in
-        Hashtbl.add registry name m;
+        let m, v = mk id in
+        Hashtbl.add registry id.full m;
         v
   in
   Mutex.unlock registry_lock;
   r
 
-let counter name =
-  intern name
-    (fun () ->
-      let c = { c_name = name; c_shards = Atomic.make [] } in
+let counter ?(labels = []) name =
+  intern (make_id name labels)
+    (fun id ->
+      let c = { c_id = id; c_shards = Atomic.make [] } in
       (C c, c))
     (function C c -> Some c | _ -> None)
 
-let fcounter name =
-  intern name
-    (fun () ->
-      let f = { f_name = name; f_shards = Atomic.make [] } in
+let fcounter ?(labels = []) name =
+  intern (make_id name labels)
+    (fun id ->
+      let f = { f_id = id; f_shards = Atomic.make [] } in
       (F f, f))
     (function F f -> Some f | _ -> None)
 
-let gauge name =
-  intern name
-    (fun () ->
-      let g = { g_name = name; g_cell = Atomic.make None } in
+let gauge ?(labels = []) name =
+  intern (make_id name labels)
+    (fun id ->
+      let g = { g_id = id; g_cell = Atomic.make None } in
       (G g, g))
     (function G g -> Some g | _ -> None)
 
 let default_duration_edges_ms =
   [| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
 
-let histogram ?(edges = default_duration_edges_ms) name =
+let histogram ?(edges = default_duration_edges_ms) ?(labels = []) name =
   let edges = Array.copy edges in
   Array.sort compare edges;
-  intern name
-    (fun () ->
-      let h = { h_name = name; h_edges = edges; h_shards = Atomic.make [] } in
+  intern (make_id name labels)
+    (fun id ->
+      let h = { h_id = id; h_edges = edges; h_shards = Atomic.make [] } in
       (H h, h))
     (function
       | H h ->
           if h.h_edges <> edges && edges <> default_duration_edges_ms then
-            invalid_arg (Printf.sprintf "Metrics: histogram %S re-registered with different edges" name)
+            invalid_arg
+              (Printf.sprintf "Metrics: histogram %S re-registered with different edges" name)
           else Some h
       | _ -> None)
 
@@ -213,7 +272,27 @@ let histogram_view h =
     ();
   { edges = Array.copy h.h_edges; counts; count = !count; sum = !sum; min = !mn; max = !mx }
 
-(* -- snapshot ---------------------------------------------------------- *)
+(* Bucketed quantile estimate: the upper edge of the first bucket whose
+   cumulative count reaches the target rank, clamped to the observed
+   [min, max] so tiny samples don't report a whole empty bucket; the
+   +inf overflow bucket reports the observed max. Good enough for a
+   dashboard (resolution = bucket width), exact at the extremes. *)
+let hist_quantile p (v : hist_view) =
+  if v.count = 0 then Float.nan
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let target = Float.max 1. (Float.of_int v.count *. p /. 100.) in
+    let n = Array.length v.counts in
+    let rec go i cum =
+      if i >= n - 1 then v.max
+      else
+        let cum = cum + v.counts.(i) in
+        if Float.of_int cum >= target then v.edges.(i) else go (i + 1) cum
+    in
+    Float.max v.min (Float.min v.max (go 0 0))
+  end
+
+(* -- iteration (snapshot + Prometheus rendering) ----------------------- *)
 
 let sorted_metrics () =
   Mutex.lock registry_lock;
@@ -221,21 +300,43 @@ let sorted_metrics () =
   Mutex.unlock registry_lock;
   List.sort (fun a b -> compare (metric_name a) (metric_name b)) ms
 
+type view =
+  | Counter_view of int
+  | Fcounter_view of float
+  | Gauge_view of float option
+  | Histogram_view of hist_view
+
+let fold f init =
+  List.fold_left
+    (fun acc m ->
+      let id = metric_id m in
+      let view =
+        match m with
+        | C c -> Counter_view (counter_value c)
+        | F fc -> Fcounter_view (fcounter_value fc)
+        | G g -> Gauge_view (gauge_value g)
+        | H h -> Histogram_view (histogram_view h)
+      in
+      f ~base:id.base ~labels:id.labels view acc)
+    init (sorted_metrics ())
+
+(* -- snapshot ---------------------------------------------------------- *)
+
 let snapshot () =
   let counters = ref [] and fcounters = ref [] and gauges = ref [] and hists = ref [] in
   List.iter
     (fun m ->
       match m with
-      | C c -> counters := (c.c_name, Json.Int (counter_value c)) :: !counters
-      | F f -> fcounters := (f.f_name, Json.Float (fcounter_value f)) :: !fcounters
+      | C c -> counters := (c.c_id.full, Json.Int (counter_value c)) :: !counters
+      | F f -> fcounters := (f.f_id.full, Json.Float (fcounter_value f)) :: !fcounters
       | G g ->
           gauges :=
-            (g.g_name, match gauge_value g with Some v -> Json.Float v | None -> Json.Null)
+            (g.g_id.full, match gauge_value g with Some v -> Json.Float v | None -> Json.Null)
             :: !gauges
       | H h ->
           let v = histogram_view h in
           hists :=
-            ( h.h_name,
+            ( h.h_id.full,
               Json.Obj
                 [
                   ("edges", Json.List (Array.to_list (Array.map (fun e -> Json.Float e) v.edges)));

@@ -1,5 +1,6 @@
 (** Unified metrics registry: counters, float accumulators, gauges and
-    fixed-bucket histograms, named, process-wide, domain-safe.
+    fixed-bucket histograms, named, optionally labeled, process-wide,
+    domain-safe.
 
     Writers bump per-domain shards (lock-free CAS-appended lists of
     atomics, following the evaluation-pool worker model), so recording
@@ -15,9 +16,19 @@
     DESIGN.md §Observability. Re-registering a name with a different
     kind (or a histogram with different edges) raises [Invalid_argument].
 
+    A handle may additionally carry a low-cardinality label set
+    ([counter ~labels:[("objective","power")] "serve.requests"]). Labels
+    are canonicalized by key order, and the full exported name is
+    [base{k="v",...}], so labeled series flow through the existing
+    snapshot schema unchanged. Per base name at most {!max_label_sets}
+    distinct label sets are interned; beyond the cap new label sets
+    collapse into the reserved [base{overflow="true"}] series — an
+    unbounded labeler degrades accuracy, never memory.
+
     {!snapshot} renders every registered metric as one versioned JSON
     object — the export behind [hsyn synth --metrics], the
-    flight-recorder NDJSON line, and [hsyn report]. *)
+    flight-recorder NDJSON line, and [hsyn report]; {!Prom.render}
+    re-renders the same registry as Prometheus text exposition. *)
 
 module Json = Hsyn_util.Json
 
@@ -25,19 +36,26 @@ val set_enabled : bool -> unit
 val is_enabled : unit -> bool
 val schema_version : int
 
+type labels = (string * string) list
+(** Label key/value pairs; sorted by key on intern, so
+    [[("a","1");("b","2")]] and its permutation are the same series. *)
+
+val max_label_sets : int
+(** Cardinality cap per base name (overflow series excluded). *)
+
 type counter
 type fcounter
 type gauge
 type histogram
 
-val counter : string -> counter
-val fcounter : string -> fcounter
-val gauge : string -> gauge
+val counter : ?labels:labels -> string -> counter
+val fcounter : ?labels:labels -> string -> fcounter
+val gauge : ?labels:labels -> string -> gauge
 
 val default_duration_edges_ms : float array
 (** Bucket upper edges (ms) used for stage-duration histograms. *)
 
-val histogram : ?edges:float array -> string -> histogram
+val histogram : ?edges:float array -> ?labels:labels -> string -> histogram
 (** Fixed upper-bound bucket edges (sorted internally); an implicit
     +inf overflow bucket is appended. Defaults to
     {!default_duration_edges_ms}. *)
@@ -66,8 +84,25 @@ val histogram_view : histogram -> hist_view
 (** Shards merged at the moment of the call. Exact whenever the
     writers have quiesced (e.g. after [Pool.map_array] returned). *)
 
+val hist_quantile : float -> hist_view -> float
+(** [hist_quantile p v] with [p] in [0..100]: bucketed estimate — the
+    upper edge of the bucket containing the rank, clamped to the
+    observed [min, max] (overflow bucket reports [max]). [nan] when
+    the view is empty. *)
+
+type view =
+  | Counter_view of int
+  | Fcounter_view of float
+  | Gauge_view of float option
+  | Histogram_view of hist_view
+
+val fold : (base:string -> labels:labels -> view -> 'a -> 'a) -> 'a -> 'a
+(** Fold over every registered metric in full-name order with its
+    merged value — the iteration behind {!Prom.render}. *)
+
 val snapshot : unit -> Json.t
-(** Versioned JSON of every registered metric, keys sorted. *)
+(** Versioned JSON of every registered metric, keys sorted; labeled
+    series appear under their full [base{k="v"}] key. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (handles stay valid). *)

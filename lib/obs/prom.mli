@@ -1,0 +1,15 @@
+(** Prometheus text exposition of the {!Metrics} registry.
+
+    Dotted metric names are sanitized to the Prometheus grammar
+    ([serve.latency_ms] → [serve_latency_ms]); labels carry over;
+    histograms render cumulative [_bucket{le="..."}] series plus
+    [_sum]/[_count]. Served by the daemon on a
+    [{"kind":"hsyn.prometheus"}] request, next to the JSON scrape. *)
+
+val sanitize_name : string -> string
+(** Map any registry name onto [[a-zA-Z_][a-zA-Z0-9_]*]. *)
+
+val render : unit -> string
+(** One scrape: [# TYPE] lines and samples for every registered
+    metric, in registry (full-name) order. Never-set gauges are
+    omitted. *)

@@ -1,0 +1,28 @@
+(* Request-scoped telemetry context.
+
+   A scope identifies the request a piece of work belongs to. The serve
+   daemon mints one per connection and installs it, domain-locally, for
+   the duration of that request; every probe that fires on the same
+   domain — Trace spans, Events NDJSON lines, Log records — reads the
+   ambient scope and tags its output with the request id, so per-tenant
+   attribution needs no change at the thousands of recording sites.
+
+   Domain-local (not process-global) is the point: a multi-tenant
+   server runs one request per worker domain, so the ambient scope of a
+   domain is exactly the request it is serving. Work fanned out to the
+   shared evaluation pool runs on long-lived pool domains that serve
+   every request in turn and therefore records unscoped (tid-level
+   attribution only); the synthesis driver loop, where every event and
+   pass/context span lives, runs on the scoped domain. *)
+
+type t = { id : int; tenant : string option }
+
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get key
+let current_id () = match Domain.DLS.get key with Some s -> Some s.id | None -> None
+
+let with_scope scope f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some scope);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f

@@ -1,0 +1,26 @@
+(** Request-scoped telemetry context.
+
+    A scope names the request the current domain is working for: a
+    monotonic request id (minted by the serve daemon per connection)
+    and an optional tenant label. {!with_scope} installs it
+    domain-locally; {!Trace.span}, {!Log} records and the core event
+    stream read the ambient scope to tag their output with the request
+    id without threading it through every call site.
+
+    Scopes do not cross domains: work dispatched to the shared
+    evaluation pool records unscoped (the pool domains are long-lived
+    and serve every request), while the synthesis driver loop — the
+    source of all progress events and pass/context spans — runs on the
+    scoped domain. *)
+
+type t = { id : int;  (** monotonic, > 0 *) tenant : string option }
+
+val with_scope : t -> (unit -> 'a) -> 'a
+(** [with_scope s f] runs [f] with [s] installed as this domain's
+    current scope, restoring the previous scope afterwards (also on
+    exceptions). Nesting is allowed; the innermost scope wins. *)
+
+val current : unit -> t option
+val current_id : unit -> int option
+(** The ambient scope of the calling domain, if any. Cheap (one
+    domain-local read, no atomics). *)

@@ -38,6 +38,7 @@ type event = {
   ev_ts_us : float;  (* since process epoch *)
   ev_dur_us : float;  (* Complete only *)
   ev_tid : int;  (* recording domain *)
+  ev_scope : int;  (* request id of the ambient Scope; 0 = unscoped *)
 }
 
 let set_enabled = Gate.set_trace
@@ -56,7 +57,17 @@ let set_capacity n = Atomic.set capacity (max 16 n)
 type ring = { buf : event array; cap : int; mutable n : int (* total ever written *) }
 
 let dummy =
-  { ev_name = ""; ev_cat = Pass; ev_phase = Instant; ev_ts_us = 0.; ev_dur_us = 0.; ev_tid = 0 }
+  {
+    ev_name = "";
+    ev_cat = Pass;
+    ev_phase = Instant;
+    ev_ts_us = 0.;
+    ev_dur_us = 0.;
+    ev_tid = 0;
+    ev_scope = 0;
+  }
+
+let current_scope () = match Scope.current_id () with Some id -> id | None -> 0
 
 let rings : (int, ring) Hashtbl.t = Hashtbl.create 8
 let rings_lock = Mutex.create ()
@@ -96,6 +107,7 @@ let instant cat name =
         ev_ts_us = now_us ();
         ev_dur_us = 0.;
         ev_tid = (Domain.self () :> int);
+        ev_scope = current_scope ();
       }
 
 (* -- the probe --------------------------------------------------------- *)
@@ -118,6 +130,7 @@ let span_armed cat name f =
             ev_ts_us = (t0 -. epoch) *. 1e6;
             ev_dur_us = dt *. 1e6;
             ev_tid = (Domain.self () :> int);
+            ev_scope = current_scope ();
           })
     f
 
@@ -141,6 +154,54 @@ let events () =
       match compare a.ev_ts_us b.ev_ts_us with 0 -> compare a.ev_tid b.ev_tid | c -> c)
     evs
 
+let scoped_events id = List.filter (fun ev -> ev.ev_scope = id) (events ())
+
+(* Indented per-domain span tree, for the serve daemon's slow-request
+   log. Events arrive sorted by timestamp; within a domain, nesting is
+   recovered from interval containment (a stack of open span end
+   times), which is exact because spans on one domain are properly
+   nested by construction. *)
+let render_tree evs =
+  let buf = Buffer.create 512 in
+  let tids = List.sort_uniq compare (List.map (fun ev -> ev.ev_tid) evs) in
+  List.iter
+    (fun tid ->
+      Buffer.add_string buf (Printf.sprintf "domain %d:\n" tid);
+      let mine = List.filter (fun ev -> ev.ev_tid = tid) evs in
+      let mine =
+        List.sort
+          (fun a b ->
+            match compare a.ev_ts_us b.ev_ts_us with
+            | 0 -> compare b.ev_dur_us a.ev_dur_us  (* outer span first *)
+            | c -> c)
+          mine
+      in
+      let stack = ref [] in
+      List.iter
+        (fun ev ->
+          let rec pop () =
+            match !stack with
+            | end_us :: tl when ev.ev_ts_us >= end_us ->
+                stack := tl;
+                pop ()
+            | _ -> ()
+          in
+          pop ();
+          let indent = String.make (2 * (1 + List.length !stack)) ' ' in
+          (match ev.ev_phase with
+          | Complete ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s [%s] %.3f ms\n" indent ev.ev_name
+                   (category_name ev.ev_cat) (ev.ev_dur_us /. 1000.));
+              stack := (ev.ev_ts_us +. ev.ev_dur_us) :: !stack
+          | Instant ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s [%s] (instant)\n" indent ev.ev_name
+                   (category_name ev.ev_cat))))
+        mine)
+    tids;
+  Buffer.contents buf
+
 let dropped () =
   Mutex.lock rings_lock;
   let d = Hashtbl.fold (fun _ r acc -> acc + max 0 (r.n - r.cap)) rings 0 in
@@ -156,6 +217,10 @@ let event_json pid ev =
       ("pid", Json.Int pid);
       ("tid", Json.Int ev.ev_tid);
     ]
+  in
+  let base =
+    if ev.ev_scope = 0 then base
+    else base @ [ ("args", Json.Obj [ ("request_id", Json.Int ev.ev_scope) ]) ]
   in
   match ev.ev_phase with
   | Complete -> Json.Obj (("ph", Json.String "X") :: base @ [ ("dur", Json.Float ev.ev_dur_us) ])

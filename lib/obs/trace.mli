@@ -32,6 +32,10 @@ type event = {
   ev_ts_us : float;  (** microseconds since process start *)
   ev_dur_us : float;  (** [Complete] spans only *)
   ev_tid : int;  (** the recording domain's id *)
+  ev_scope : int;
+      (** request id of the {!Scope} ambient on the recording domain at
+          the moment of recording; [0] when unscoped (solo runs, pool
+          workers) *)
 }
 
 val set_enabled : bool -> unit
@@ -53,6 +57,16 @@ val set_capacity : int -> unit
 
 val events : unit -> event list
 (** All retained events, merged across domains, ascending timestamp. *)
+
+val scoped_events : int -> event list
+(** {!events} restricted to one request id — the spans recorded on
+    domains that carried that {!Scope} (the serve driver domain; pool
+    workers record unscoped). *)
+
+val render_tree : event list -> string
+(** Human-readable indented span tree, grouped per domain, nesting
+    recovered from interval containment — the [span_tree] payload of
+    the serve daemon's slow-request log. *)
 
 val dropped : unit -> int
 (** Events lost to ring overflow since the last {!reset}. *)

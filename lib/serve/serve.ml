@@ -8,9 +8,15 @@ module Dfg = Hsyn_dfg.Dfg
 module Library = Hsyn_modlib.Library
 module Suite = Hsyn_benchmarks.Suite
 module Json = Hsyn_util.Json
-module Stats = Hsyn_util.Stats
 module Metrics = Hsyn_obs.Metrics
 module Report = Hsyn_obs.Report
+module Scope = Hsyn_obs.Scope
+module Log = Hsyn_obs.Log
+module Span = Hsyn_obs.Trace
+module Prom = Hsyn_obs.Prom
+module Cost = Hsyn_core.Cost
+module Pass = Hsyn_core.Pass
+module Engine = Hsyn_core.Engine
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -24,6 +30,7 @@ type config = {
   max_request_s : float option;
   retry_after_s : float;
   read_timeout_s : float;
+  slow_ms : float option;
   lib : Library.t;
   resolve_bench : string -> (Registry.t * Dfg.t) option;
 }
@@ -38,12 +45,20 @@ let default_config =
     max_request_s = None;
     retry_after_s = 1.0;
     read_timeout_s = 10.0;
+    slow_ms = None;
     lib = Library.default;
     resolve_bench = suite_resolve;
   }
 
-(* Keep the last N request latencies for the p90 gauge. *)
-let latency_window = 512
+(* Bucket edges of serve.latency_ms: request wall-clock runs from
+   sub-millisecond metrics scrapes to minute-scale syntheses. *)
+let latency_edges_ms =
+  [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 10000.; 30000.; 60000. |]
+
+(* Slow requests remembered for the scrape's [serve_recent_slow]. *)
+let slow_recent_window = 8
+
+type slow = { sl_id : int; sl_source : string; sl_run_ms : float }
 
 type t = {
   cfg : config;
@@ -51,15 +66,17 @@ type t = {
   listener : Unix.file_descr;
   addr : address;
   stopping : bool Atomic.t;
-  (* accepted-but-unserved connections; [queued]/[in_flight] counters
-     live under [lock] so the admission check reads a consistent load *)
-  queue : Unix.file_descr Queue.t;
+  next_id : int Atomic.t;  (* request ids, minted at admission *)
+  (* accepted-but-unserved connections (request id, enqueue time, fd);
+     [queued]/[in_flight] counters live under [lock] so the admission
+     check reads a consistent load *)
+  queue : (int * float * Unix.file_descr) Queue.t;
   lock : Mutex.t;
   nonempty : Condition.t;
   mutable queued : int;
   mutable in_flight : int;
   tokens : Budget.token option Atomic.t array;  (* one live-token slot per worker *)
-  mutable latencies_ms : float list;  (* newest first, <= latency_window; under lock *)
+  mutable slow_recent : slow list;  (* newest first, <= slow_recent_window; under lock *)
   accepted : int Atomic.t;
   completed : int Atomic.t;
   rejected : int Atomic.t;
@@ -67,6 +84,7 @@ type t = {
   g_in_flight : Metrics.gauge;
   g_queued : Metrics.gauge;
   g_p90 : Metrics.gauge;
+  h_latency : Metrics.histogram;
   c_accepted : Metrics.counter;
   c_rejected : Metrics.counter;
   c_completed : Metrics.counter;
@@ -117,6 +135,9 @@ let create ?session ?(config = default_config) addr =
        closed peer then fail with EPIPE, which every writer catches. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     Metrics.set_enabled true;
+    (* The slow-request log dumps the offender's own span tree, which
+       needs the tracer recording while requests run. *)
+    if config.slow_ms <> None then Span.set_enabled true;
     let bind_listen () =
       match addr with
       | Unix_socket path -> (
@@ -155,13 +176,14 @@ let create ?session ?(config = default_config) addr =
             listener;
             addr;
             stopping = Atomic.make false;
+            next_id = Atomic.make 1;
             queue = Queue.create ();
             lock = Mutex.create ();
             nonempty = Condition.create ();
             queued = 0;
             in_flight = 0;
             tokens = Array.init config.max_inflight (fun _ -> Atomic.make None);
-            latencies_ms = [];
+            slow_recent = [];
             accepted = Atomic.make 0;
             completed = Atomic.make 0;
             rejected = Atomic.make 0;
@@ -169,6 +191,7 @@ let create ?session ?(config = default_config) addr =
             g_in_flight = Metrics.gauge "serve.in_flight";
             g_queued = Metrics.gauge "serve.queued";
             g_p90 = Metrics.gauge "serve.latency_p90_ms";
+            h_latency = Metrics.histogram ~edges:latency_edges_ms "serve.latency_ms";
             c_accepted = Metrics.counter "serve.accepted";
             c_rejected = Metrics.counter "serve.rejected";
             c_completed = Metrics.counter "serve.completed";
@@ -187,13 +210,18 @@ let set_load_gauges t =
   Metrics.set t.g_in_flight (float_of_int t.in_flight);
   Metrics.set t.g_queued (float_of_int t.queued)
 
+(* One histogram observation (an atomic bump in this domain's shard)
+   replaces the old mutex-guarded 512-deep list rebuild; the legacy
+   p90 gauge is derived from the histogram so existing scrape
+   consumers keep their series. *)
 let note_latency t ms =
+  Metrics.observe t.h_latency ms;
+  Metrics.set t.g_p90 (Metrics.hist_quantile 90. (Metrics.histogram_view t.h_latency))
+
+let note_slow t sl =
   Mutex.lock t.lock;
-  let keep = List.filteri (fun i _ -> i < latency_window - 1) t.latencies_ms in
-  t.latencies_ms <- ms :: keep;
-  let p90 = Stats.percentile 90. t.latencies_ms in
-  Mutex.unlock t.lock;
-  Metrics.set t.g_p90 p90
+  t.slow_recent <- sl :: List.filteri (fun i _ -> i < slow_recent_window - 1) t.slow_recent;
+  Mutex.unlock t.lock
 
 (* -- per-connection protocol ------------------------------------------- *)
 
@@ -235,78 +263,190 @@ let clamp_budget cfg (b : Budget.t) =
       in
       { b with Budget.deadline_s = Some deadline_s }
 
-let metrics_line t =
+let refresh_exports t =
   Mutex.lock t.lock;
   set_load_gauges t;
   Mutex.unlock t.lock;
-  Session.export_metrics t.session;
-  Json.to_string (Metrics.snapshot ())
+  Session.export_metrics t.session
 
-let is_metrics_request line =
+let metrics_line t =
+  refresh_exports t;
+  let slow =
+    Mutex.lock t.lock;
+    let s = t.slow_recent in
+    Mutex.unlock t.lock;
+    List.map
+      (fun sl ->
+        Json.Obj
+          [
+            ("request_id", Json.Int sl.sl_id);
+            ("source", Json.String sl.sl_source);
+            ("run_ms", Json.Float sl.sl_run_ms);
+          ])
+      s
+  in
+  match Metrics.snapshot () with
+  | Json.Obj fields ->
+      (* the daemon's scrape adds the recent-slow ring on top of the
+         plain registry snapshot; [hsyn top] renders it *)
+      Json.to_string (Json.Obj (fields @ [ ("serve_recent_slow", Json.List slow) ]))
+  | other -> Json.to_string other
+
+let prometheus_text t =
+  refresh_exports t;
+  Prom.render ()
+
+let request_kind line =
   match Json.of_string line with
-  | Ok v -> (
-      match Option.bind (Json.member "kind" v) Json.to_string_opt with
-      | Some "hsyn.metrics" -> true
-      | _ -> false)
-  | Error _ -> false
+  | Ok v -> Option.bind (Json.member "kind" v) Json.to_string_opt
+  | Error _ -> None
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | exception Unix.Unix_error _ -> "unknown"
+
+let source_name = function
+  | Wire.Bench name -> name
+  | Wire.Program { graph = Some g; _ } -> "program:" ^ g
+  | Wire.Program { graph = None; _ } -> "program"
+
+(* A stable short digest of the full request document, so operators
+   can group access-log records by configuration without logging the
+   configuration itself. *)
+let doc_digest doc =
+  String.sub (Digest.to_hex (Digest.string (Json.to_string (Wire.doc_to_json doc)))) 0 12
+
+let cache_hit_rate (c : Engine.counters) =
+  let total = c.Engine.cache_hits + c.Engine.cache_misses in
+  if total = 0 then 0. else Float.of_int c.Engine.cache_hits /. Float.of_int total
+
+(* Per-request outcome counter, labeled by objective/status (and
+   tenant when the document names one). Cardinality is bounded by
+   Metrics.max_label_sets: a flood of distinct tenants degrades into
+   the overflow series, never into unbounded registry growth. *)
+let count_request ~objective ~tenant ~status =
+  let labels =
+    [ ("objective", objective); ("status", status) ]
+    @ match tenant with None -> [] | Some tn -> [ ("tenant", tn) ]
+  in
+  Metrics.incr (Metrics.counter ~labels "serve.requests")
 
 (* Serve one connection on a worker domain. Never raises: every write
    failure means the client is gone, which only cancels that client's
-   run. *)
-let handle_conn (t : t) worker_id fd =
+   run. Runs under the request's [Scope], which is what stamps the
+   request id onto event lines, spans and log records emitted below
+   here on this domain. *)
+let handle_conn (t : t) worker_id ~id ~queue_wait_ms fd =
   let oc = Unix.out_channel_of_descr fd in
   let sink = Report.Sink.of_channel oc in
   let send line = try Report.Sink.line sink line with _ -> () in
+  let send_text s =
+    try
+      output_string oc s;
+      flush oc
+    with _ -> ()
+  in
   let started = Unix.gettimeofday () in
+  let access ~doc ~status ~extra =
+    let run_ms = (Unix.gettimeofday () -. started) *. 1000. in
+    let tenant = doc.Wire.tenant in
+    let objective = Cost.objective_name doc.Wire.objective in
+    count_request ~objective ~tenant ~status;
+    Log.info
+      ~fields:
+        ([
+           ("client", Json.String (peer_name fd));
+           ("source", Json.String (source_name doc.Wire.source));
+           ("objective", Json.String objective);
+           ("config_digest", Json.String (doc_digest doc));
+           ("queue_wait_ms", Json.Float queue_wait_ms);
+           ("run_ms", Json.Float run_ms);
+           ("status", Json.String status);
+         ]
+        @ extra)
+      "request";
+    (match t.cfg.slow_ms with
+    | Some cap when run_ms > cap ->
+        note_slow t { sl_id = id; sl_source = source_name doc.Wire.source; sl_run_ms = run_ms };
+        Log.warn
+          ~fields:
+            [
+              ("run_ms", Json.Float run_ms);
+              ("slow_ms", Json.Float cap);
+              ("span_tree", Json.String (Span.render_tree (Span.scoped_events id)));
+            ]
+          "slow request"
+    | _ -> ());
+    run_ms
+  in
   (match read_request_line t fd with
   | Error msg -> send (error_line Wire.Bad_request msg)
-  | Ok line when is_metrics_request line -> send (metrics_line t)
+  | Ok line when request_kind line = Some "hsyn.metrics" -> send (metrics_line t)
+  | Ok line when request_kind line = Some "hsyn.prometheus" -> send_text (prometheus_text t)
   | Ok line -> (
       match Wire.doc_of_string line with
       | Error msg ->
           Atomic.incr t.errors;
           Metrics.incr t.c_errors;
+          Log.warn ~fields:[ ("client", Json.String (peer_name fd)) ] "bad request";
           send (error_line Wire.Bad_request msg)
-      | Ok doc -> (
+      | Ok doc ->
           let doc = { doc with Wire.budget = clamp_budget t.cfg doc.Wire.budget } in
-          match
-            Wire.to_request ~session:t.session ~resolve_bench:t.cfg.resolve_bench
-              ~lib:t.cfg.lib doc
-          with
-          | Error msg ->
-              Atomic.incr t.errors;
-              Metrics.incr t.c_errors;
-              send (error_line Wire.Bad_request msg)
-          | Ok req ->
-              let token = Budget.start doc.Wire.budget in
-              Atomic.set t.tokens.(worker_id) (Some token);
-              (* The event stream doubles as liveness detection: a
-                 failed write means the client disconnected, and the
-                 supported way to stop its run is its budget token. *)
-              let events ev =
-                try Report.Sink.line sink (Events.to_json ev)
-                with _ -> Budget.cancel token
-              in
-              (* [doc.cache] is deliberately ignored: the daemon's
-                 persistent cache location is operator-controlled
-                 ([hsyn serve --cache]), never client-controlled.
-                 [doc.portfolio] is honored, clamped so one request
-                 cannot fan out unboundedly on top of the worker pool. *)
-              (match
-                 (if doc.Wire.portfolio > 1 then
-                    Synthesize.portfolio ~events ~token ~n:(min doc.Wire.portfolio 4) req
-                  else Synthesize.synthesize ~events ~token req)
-               with
-              | Ok r ->
-                  Atomic.incr t.completed;
-                  Metrics.incr t.c_completed;
-                  send (Synthesize.Result.to_json r)
+          Scope.with_scope
+            { Scope.id; tenant = doc.Wire.tenant }
+            (fun () ->
+              match
+                Wire.to_request ~session:t.session ~resolve_bench:t.cfg.resolve_bench
+                  ~lib:t.cfg.lib doc
+              with
               | Error msg ->
                   Atomic.incr t.errors;
                   Metrics.incr t.c_errors;
-                  send (error_line Wire.Failed msg));
-              Atomic.set t.tokens.(worker_id) None;
-              note_latency t ((Unix.gettimeofday () -. started) *. 1000.))));
+                  ignore (access ~doc ~status:"bad_request" ~extra:[] : float);
+                  send (error_line Wire.Bad_request msg)
+              | Ok req ->
+                  let token = Budget.start doc.Wire.budget in
+                  Atomic.set t.tokens.(worker_id) (Some token);
+                  (* The event stream doubles as liveness detection: a
+                     failed write means the client disconnected, and the
+                     supported way to stop its run is its budget token. *)
+                  let events ev =
+                    try Report.Sink.line sink (Events.to_json ev)
+                    with _ -> Budget.cancel token
+                  in
+                  (* [doc.cache] is deliberately ignored: the daemon's
+                     persistent cache location is operator-controlled
+                     ([hsyn serve --cache]), never client-controlled.
+                     [doc.portfolio] is honored, clamped so one request
+                     cannot fan out unboundedly on top of the worker pool. *)
+                  (match
+                     (if doc.Wire.portfolio > 1 then
+                        Synthesize.portfolio ~events ~token ~n:(min doc.Wire.portfolio 4) req
+                      else Synthesize.synthesize ~events ~token req)
+                   with
+                  | Ok r ->
+                      Atomic.incr t.completed;
+                      Metrics.incr t.c_completed;
+                      let stats = r.Synthesize.stats in
+                      ignore
+                        (access ~doc ~status:"ok"
+                           ~extra:
+                             [
+                               ("moves_committed", Json.Int stats.Pass.moves_committed);
+                               ( "cache_hit_rate",
+                                 Json.Float (cache_hit_rate stats.Pass.engine) );
+                             ]
+                          : float);
+                      send (Synthesize.Result.to_json r)
+                  | Error msg ->
+                      Atomic.incr t.errors;
+                      Metrics.incr t.c_errors;
+                      ignore (access ~doc ~status:"failed" ~extra:[] : float);
+                      send (error_line Wire.Failed msg));
+                  Atomic.set t.tokens.(worker_id) None;
+                  note_latency t ((Unix.gettimeofday () -. started) *. 1000.))));
   try close_out oc with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
 
 (* -- admission and workers --------------------------------------------- *)
@@ -323,6 +463,18 @@ let reject (t : t) fd code retry_after_s =
   (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0 with Unix.Unix_error _ -> ());
   let bytes = Bytes.of_string (line ^ "\n") in
   (try ignore (Unix.write fd bytes 0 (Bytes.length bytes)) with _ -> ());
+  (* The racing client may already have sent its request line, which
+     this path never reads. Closing with unread data in the receive
+     queue resets the peer (TCP RST; Linux AF_UNIX behaves the same)
+     and discards the reject line with it — so signal EOF first, then
+     drain with the same 1s bound before closing. *)
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+     let junk = Bytes.create 512 in
+     let rec drain () = if Unix.read fd junk 0 (Bytes.length junk) > 0 then drain () in
+     drain ()
+   with _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let admit (t : t) fd =
@@ -337,7 +489,8 @@ let admit (t : t) fd =
       reject t fd Wire.Overloaded (Some t.cfg.retry_after_s)
     end
     else begin
-      Queue.push fd t.queue;
+      let id = Atomic.fetch_and_add t.next_id 1 in
+      Queue.push (id, Unix.gettimeofday (), fd) t.queue;
       t.queued <- t.queued + 1;
       set_load_gauges t;
       Condition.signal t.nonempty;
@@ -358,12 +511,12 @@ let worker t worker_id () =
     Mutex.lock t.lock;
     let rec wait () =
       if not (Queue.is_empty t.queue) then begin
-        let fd = Queue.pop t.queue in
+        let item = Queue.pop t.queue in
         t.queued <- t.queued - 1;
         t.in_flight <- t.in_flight + 1;
         set_load_gauges t;
         Mutex.unlock t.lock;
-        Some fd
+        Some item
       end
       else if Atomic.get t.stopping then begin
         Mutex.unlock t.lock;
@@ -376,8 +529,9 @@ let worker t worker_id () =
     in
     match wait () with
     | None -> ()
-    | Some fd ->
-        (try handle_conn t worker_id fd with _ -> ());
+    | Some (id, enqueued, fd) ->
+        let queue_wait_ms = (Unix.gettimeofday () -. enqueued) *. 1000. in
+        (try handle_conn t worker_id ~id ~queue_wait_ms fd with _ -> ());
         Mutex.lock t.lock;
         t.in_flight <- t.in_flight - 1;
         set_load_gauges t;
@@ -489,6 +643,11 @@ module Client = struct
     match raw ?timeout_s addr {|{"kind":"hsyn.metrics"}|} with
     | Error _ as e -> e
     | Ok lines -> Ok (List.nth lines (List.length lines - 1))
+
+  let prometheus ?timeout_s addr =
+    match raw ?timeout_s addr {|{"kind":"hsyn.prometheus"}|} with
+    | Error _ as e -> e
+    | Ok lines -> Ok (String.concat "\n" lines ^ "\n")
 end
 
 (* -- identity helpers -------------------------------------------------- *)

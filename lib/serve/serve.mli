@@ -11,7 +11,23 @@
       synth --json] prints for the same document — otherwise a typed
       [{"kind":"hsyn.error",…}] line ({!Hsyn_core.Wire.error});
     - a [{"kind":"hsyn.metrics"}] request line instead answers with one
-      {!Hsyn_obs.Metrics.snapshot} line (the scrape endpoint).
+      {!Hsyn_obs.Metrics.snapshot} line (the scrape endpoint), extended
+      with a [serve_recent_slow] array (the last few slow requests —
+      see [slow_ms]);
+    - a [{"kind":"hsyn.prometheus"}] request line answers with the same
+      registry rendered as Prometheus text exposition
+      ({!Hsyn_obs.Prom.render}) and closes.
+
+    Every admitted connection is minted a monotonic request id and
+    served under an {!Hsyn_obs.Scope}, so the event lines streamed to
+    the client carry a [request_id] field, the structured log records
+    of the request ({!Hsyn_obs.Log}) carry [request_id] (and [tenant],
+    when the document names one), and the request's spans are
+    attributable ({!Hsyn_obs.Trace.scoped_events}). Each request emits
+    one [info]-level access-log record (client, source, objective,
+    config digest, queue wait, run time, status, and on success
+    moves-committed and cache hit rate); requests slower than
+    [slow_ms] additionally log their own span tree at [warn].
 
     All requests of a server share one {!Hsyn_core.Session} (and hence
     one memo state and one domain pool per jobs count), so concurrent
@@ -28,9 +44,11 @@
     closed. While draining, new connections get {!Hsyn_core.Wire.Shutting_down}.
 
     The server publishes [serve.*] metrics: [serve.in_flight] /
-    [serve.queued] / [serve.latency_p90_ms] gauges and
+    [serve.queued] / [serve.latency_p90_ms] gauges, a
+    [serve.latency_ms] histogram (the p90 gauge is derived from it),
     [serve.accepted] / [serve.rejected] / [serve.completed] /
-    [serve.errors] counters. *)
+    [serve.errors] counters, and per-outcome labeled
+    [serve.requests{objective=…,status=…[,tenant=…]}] counters. *)
 
 module Wire = Hsyn_core.Wire
 module Session = Hsyn_core.Session
@@ -52,6 +70,11 @@ type config = {
           trusts the client's own budget *)
   retry_after_s : float;  (** hint carried by [Overloaded] rejects *)
   read_timeout_s : float;  (** per-connection wait for the request line *)
+  slow_ms : float option;
+      (** requests slower than this log their span tree at [warn] and
+          enter the scrape's [serve_recent_slow] ring; setting it also
+          arms the tracer ({!Hsyn_obs.Trace.set_enabled}) at
+          {!create}. [None] (default) disables slow-request capture *)
   lib : Library.t;
   resolve_bench : string -> (Registry.t * Dfg.t) option;
       (** benchmark-name resolution for [{"source":{"bench":…}}] *)
@@ -119,6 +142,10 @@ module Client : sig
 
   val metrics : ?timeout_s:float -> address -> (string, string) result
   (** Fetch one metrics-snapshot line. *)
+
+  val prometheus : ?timeout_s:float -> address -> (string, string) result
+  (** Fetch the Prometheus text exposition ([hsyn top]'s sibling for
+      external scrapers). *)
 end
 
 (** {1 Identity helpers} *)

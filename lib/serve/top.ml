@@ -1,0 +1,148 @@
+(* The rendering half of [hsyn top]: one metrics-scrape JSON line in,
+   one terminal frame out.
+
+   Pure (no IO, no clocks of its own): the caller supplies each scrape
+   as a {!sample} stamped with its own wall-clock, and rates come from
+   the delta against the previous sample. That keeps the whole
+   dashboard unit-testable against canned snapshots — the CLI loop in
+   bin/hsyn.ml only fetches, clears the screen and prints. *)
+
+module Json = Hsyn_util.Json
+module Table = Hsyn_util.Table
+module Metrics = Hsyn_obs.Metrics
+
+type sample = { at : float; json : Json.t }
+
+let of_line ~at line =
+  match Json.of_string line with
+  | Ok json -> Ok { at; json }
+  | Error m -> Error (Printf.sprintf "invalid metrics line: %s" m)
+
+(* -- snapshot accessors ------------------------------------------------ *)
+
+let section name s = Option.value ~default:Json.Null (Json.member name s.json)
+
+let counter s name =
+  Option.value ~default:0 (Option.bind (Json.member name (section "counters" s)) Json.to_int_opt)
+
+let gauge s name = Option.bind (Json.member name (section "gauges" s)) Json.to_float_opt
+
+(* Reconstruct a {!Metrics.hist_view} from the snapshot's histogram
+   object, so quantiles come from the same estimator the daemon's own
+   p90 gauge uses. *)
+let hist_view s name =
+  match Json.member name (section "histograms" s) with
+  | None -> None
+  | Some h ->
+      let floats key =
+        Option.map
+          (fun l -> Array.of_list (List.filter_map Json.to_float_opt l))
+          (Option.bind (Json.member key h) Json.to_list_opt)
+      in
+      let ints key =
+        Option.map
+          (fun l -> Array.of_list (List.filter_map Json.to_int_opt l))
+          (Option.bind (Json.member key h) Json.to_list_opt)
+      in
+      let num key = Option.bind (Json.member key h) Json.to_float_opt in
+      let count = Option.bind (Json.member "count" h) Json.to_int_opt in
+      (match (floats "edges", ints "counts", count) with
+      | Some edges, Some counts, Some count ->
+          Some
+            {
+              Metrics.edges;
+              counts;
+              count;
+              sum = Option.value ~default:0. (num "sum");
+              min = Option.value ~default:Float.infinity (num "min");
+              max = Option.value ~default:Float.neg_infinity (num "max");
+            }
+      | _ -> None)
+
+(* All counters whose full name extends [prefix], as (suffix, value). *)
+let prefixed s prefix =
+  match section "counters" s with
+  | Json.Obj fields ->
+      List.filter_map
+        (fun (k, v) ->
+          if String.starts_with ~prefix k then
+            Option.map
+              (fun n -> (String.sub k (String.length prefix) (String.length k - String.length prefix), n))
+              (Json.to_int_opt v)
+          else None)
+        fields
+  | _ -> []
+
+(* -- the frame --------------------------------------------------------- *)
+
+let fmt_rate v = if Float.is_nan v then "-" else Printf.sprintf "%.1f/s" v
+let fmt_ms v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v
+let fmt_gauge s name = match gauge s name with Some v -> Printf.sprintf "%.0f" v | None -> "-"
+
+let fmt_pct num den =
+  let total = num + den in
+  if total = 0 then "-" else Printf.sprintf "%.1f%%" (100. *. Float.of_int num /. Float.of_int total)
+
+let render ?prev (s : sample) =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
+  let rate counter_name =
+    match prev with
+    | Some p when s.at > p.at ->
+        Float.of_int (counter s counter_name - counter p counter_name) /. (s.at -. p.at)
+    | _ -> Float.nan
+  in
+  line "hsyn top";
+  line "";
+  line "load      in_flight %s  queued %s  accepted %d  completed %d  rejected %d  errors %d"
+    (fmt_gauge s "serve.in_flight") (fmt_gauge s "serve.queued") (counter s "serve.accepted")
+    (counter s "serve.completed") (counter s "serve.rejected") (counter s "serve.errors");
+  line "rate      completed %s  accepted %s  rejected %s" (fmt_rate (rate "serve.completed"))
+    (fmt_rate (rate "serve.accepted"))
+    (fmt_rate (rate "serve.rejected"));
+  (match hist_view s "serve.latency_ms" with
+  | Some v when v.Metrics.count > 0 ->
+      line "latency   p50 %s ms  p90 %s ms  p99 %s ms  (n=%d, mean %s ms)"
+        (fmt_ms (Metrics.hist_quantile 50. v))
+        (fmt_ms (Metrics.hist_quantile 90. v))
+        (fmt_ms (Metrics.hist_quantile 99. v))
+        v.Metrics.count
+        (fmt_ms (v.Metrics.sum /. Float.of_int v.Metrics.count))
+  | _ -> line "latency   (no requests yet)");
+  line "cache     engine %s  disk_hits %d  session cost %s/%s"
+    (fmt_pct (counter s "engine.cache_hits") (counter s "engine.cache_misses"))
+    (counter s "engine.disk_hits")
+    (fmt_gauge s "session.cost.hits")
+    (fmt_gauge s "session.cost.misses");
+  let committed = prefixed s "moves.committed." in
+  let reverted = prefixed s "moves.reverted." in
+  if committed <> [] || reverted <> [] then begin
+    line "";
+    let tbl = Table.create ~header:[ "family"; "committed"; "reverted" ] in
+    let fams =
+      List.sort_uniq compare (List.map fst committed @ List.map fst reverted)
+    in
+    List.iter
+      (fun fam ->
+        let get l = Option.value ~default:0 (List.assoc_opt fam l) in
+        Table.add_row tbl [ fam; string_of_int (get committed); string_of_int (get reverted) ])
+      fams;
+    Buffer.add_string buf (Table.render tbl)
+  end;
+  (match Option.bind (Json.member "serve_recent_slow" s.json) Json.to_list_opt with
+  | Some (_ :: _ as slow) ->
+      line "";
+      line "recent slow requests:";
+      List.iter
+        (fun e ->
+          let id = Option.value ~default:0 (Option.bind (Json.member "request_id" e) Json.to_int_opt) in
+          let src =
+            Option.value ~default:"?" (Option.bind (Json.member "source" e) Json.to_string_opt)
+          in
+          let ms =
+            Option.value ~default:Float.nan (Option.bind (Json.member "run_ms" e) Json.to_float_opt)
+          in
+          line "  #%d %s %s ms" id src (fmt_ms ms))
+        slow
+  | _ -> ());
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** The rendering half of [hsyn top], the daemon's live terminal
+    dashboard.
+
+    Pure: {!render} turns one metrics-scrape line (what
+    {!Serve.Client.metrics} returns) into one text frame — load and
+    rates, latency quantiles from the [serve.latency_ms] histogram,
+    cache hit rates, a per-family commit/revert table, and the
+    [serve_recent_slow] ring. Rates need two samples; with no [prev]
+    they render as ["-"]. The fetch/clear/print loop lives in
+    [bin/hsyn.ml]. *)
+
+module Json = Hsyn_util.Json
+
+type sample = { at : float; json : Json.t }
+(** One scrape, stamped with the wall-clock at which it was taken. *)
+
+val of_line : at:float -> string -> (sample, string) result
+
+val render : ?prev:sample -> sample -> string
+(** One frame, newline-terminated lines. [prev] (the preceding sample)
+    enables the per-second rates. *)

@@ -10,6 +10,9 @@ module Gate = Hsyn_obs.Gate
 module Metrics = Hsyn_obs.Metrics
 module Trace = Hsyn_obs.Trace
 module Report = Hsyn_obs.Report
+module Scope = Hsyn_obs.Scope
+module Log = Hsyn_obs.Log
+module Prom = Hsyn_obs.Prom
 
 let check = Alcotest.check
 let checki = check Alcotest.int
@@ -420,6 +423,243 @@ let test_sink_concurrent_writers () =
       checki "distinct payloads" (writers * per_writer) (Hashtbl.length seen))
 
 (* ------------------------------------------------------------------ *)
+(* Scope *)
+
+let test_scope_nesting () =
+  checkb "no ambient scope" true (Scope.current () = None);
+  Scope.with_scope { Scope.id = 7; tenant = None } (fun () ->
+      checki "inner id" 7 (Option.get (Scope.current_id ()));
+      Scope.with_scope { Scope.id = 8; tenant = Some "t" } (fun () ->
+          checki "nested id" 8 (Option.get (Scope.current_id ())));
+      checki "restored after nesting" 7 (Option.get (Scope.current_id ()));
+      (* scopes are domain-local: a fresh domain never inherits one *)
+      let d = Domain.spawn (fun () -> Scope.current () = None) in
+      checkb "domain-local" true (Domain.join d);
+      (try Scope.with_scope { Scope.id = 9; tenant = None } (fun () -> raise Exit)
+       with Exit -> ());
+      checki "restored after exception" 7 (Option.get (Scope.current_id ())));
+  checkb "cleared at the end" true (Scope.current () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Log *)
+
+let with_log_file f =
+  let path = Filename.temp_file "hsyn_log" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level Log.Warn;
+      Log.set_sink (Report.Sink.of_channel stderr);
+      Sys.remove path)
+    (fun () ->
+      let sink = Report.Sink.create path in
+      Log.set_sink sink;
+      f ();
+      Report.Sink.close sink;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      List.rev !lines)
+
+let test_log_level_filtering () =
+  let lines =
+    with_log_file (fun () ->
+        Log.set_level Log.Warn;
+        Log.debug "dropped-debug";
+        Log.info "dropped-info";
+        Log.warn ~fields:[ ("k", Json.Int 1) ] "kept-warn";
+        Log.error "kept-error";
+        Log.set_level Log.Debug;
+        Log.debug "kept-debug")
+  in
+  checki "only records at/above the threshold" 3 (List.length lines);
+  let recs = List.map (fun l -> Result.get_ok (Json.of_string l)) lines in
+  check (Alcotest.list Alcotest.string) "levels in order" [ "warn"; "error"; "debug" ]
+    (List.map (gets "level") recs);
+  check (Alcotest.list Alcotest.string) "messages" [ "kept-warn"; "kept-error"; "kept-debug" ]
+    (List.map (gets "msg") recs);
+  let warn = List.hd recs in
+  checki "caller fields carried" 1 (geti "k" warn);
+  checkb "timestamp present" true (getf "ts" warn > 0.);
+  checkb "no scope, no request_id" true (Json.member "request_id" warn = None)
+
+let test_log_scope_injection () =
+  let lines =
+    with_log_file (fun () ->
+        Log.set_level Log.Info;
+        Scope.with_scope
+          { Scope.id = 31; tenant = Some "acme" }
+          (fun () -> Log.info "scoped"))
+  in
+  let r = Result.get_ok (Json.of_string (List.hd lines)) in
+  checki "request_id injected" 31 (geti "request_id" r);
+  checks "tenant injected" "acme" (gets "tenant" r)
+
+(* Four domains log under their own scopes into one file: every line
+   must parse (no splicing) and carry its writer's request id. *)
+let test_log_concurrent_domains () =
+  let writers = 4 and per_writer = 200 in
+  let lines =
+    with_log_file (fun () ->
+        Log.set_level Log.Info;
+        let spawn w =
+          Domain.spawn (fun () ->
+              Scope.with_scope
+                { Scope.id = w + 1; tenant = None }
+                (fun () ->
+                  for i = 0 to per_writer - 1 do
+                    Log.info ~fields:[ ("i", Json.Int i) ] (Printf.sprintf "w%d" (w + 1))
+                  done))
+        in
+        let ds = List.init writers spawn in
+        List.iter Domain.join ds)
+  in
+  checki "all records written" (writers * per_writer) (List.length lines);
+  let seen = Hashtbl.create (writers * per_writer) in
+  List.iter
+    (fun l ->
+      match Json.of_string l with
+      | Error e -> Alcotest.failf "interleaved/unparseable line %s: %s" l e
+      | Ok r ->
+          let w = geti "request_id" r and i = geti "i" r in
+          checks "msg matches writer's scope" (Printf.sprintf "w%d" w) (gets "msg" r);
+          Hashtbl.replace seen (w, i) ())
+    lines;
+  checki "distinct records" (writers * per_writer) (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics labels *)
+
+let test_metrics_labels_interned () =
+  fresh ();
+  Metrics.set_enabled true;
+  (* label order is canonicalized: both spellings are one series *)
+  let a = Metrics.counter ~labels:[ ("b", "2"); ("a", "1") ] "labtest.requests" in
+  let b = Metrics.counter ~labels:[ ("a", "1"); ("b", "2") ] "labtest.requests" in
+  Metrics.incr a;
+  Metrics.add b 2;
+  (* the bare name is its own, distinct series *)
+  Metrics.incr (Metrics.counter "labtest.requests");
+  let counters = mem "counters" (Metrics.snapshot ()) in
+  checki "labeled series merged under the canonical key" 3
+    (geti {|labtest.requests{a="1",b="2"}|} counters);
+  checki "unlabeled series separate" 1 (geti "labtest.requests" counters)
+
+let test_metrics_label_cardinality_cap () =
+  fresh ();
+  Metrics.set_enabled true;
+  let overflowing = 6 in
+  for i = 0 to Metrics.max_label_sets + overflowing - 1 do
+    Metrics.incr (Metrics.counter ~labels:[ ("i", string_of_int i) ] "labtest.cap")
+  done;
+  let counters = mem "counters" (Metrics.snapshot ()) in
+  let cap_keys =
+    match counters with
+    | Json.Obj fs -> List.filter (fun (k, _) -> String.starts_with ~prefix:"labtest.cap{" k) fs
+    | _ -> []
+  in
+  checki "at most max_label_sets + overflow series" (Metrics.max_label_sets + 1)
+    (List.length cap_keys);
+  checki "beyond-cap label sets collapse into the overflow series" overflowing
+    (geti {|labtest.cap{overflow="true"}|} counters)
+
+let test_metrics_hist_quantile () =
+  fresh ();
+  Metrics.set_enabled true;
+  let h = Metrics.histogram ~edges:[| 10.; 20.; 30. |] "labtest.quant" in
+  List.iter (Metrics.observe h) [ 1.; 12.; 15.; 22.; 35. ];
+  let v = Metrics.histogram_view h in
+  checkf "p50 is its bucket's upper edge" 20. (Metrics.hist_quantile 50. v);
+  checkf "p99 in the overflow bucket reports max" 35. (Metrics.hist_quantile 99. v);
+  checkf "p0 clamps to the first bucket edge" 10. (Metrics.hist_quantile 0. v);
+  let empty = Metrics.histogram_view (Metrics.histogram ~edges:[| 1. |] "labtest.quant_empty") in
+  checkb "empty view is nan" true (Float.is_nan (Metrics.hist_quantile 50. empty))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+let prom_sample_valid line =
+  match String.index_opt line ' ' with
+  | None -> false
+  | Some i ->
+      let name_part = String.sub line 0 i in
+      let value_part = String.sub line (i + 1) (String.length line - i - 1) in
+      let name, braces_ok =
+        match String.index_opt name_part '{' with
+        | None -> (name_part, true)
+        | Some j -> (String.sub name_part 0 j, name_part.[String.length name_part - 1] = '}')
+      in
+      let name_ok =
+        name <> ""
+        && String.for_all
+             (fun c ->
+               (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
+             name
+        && not (name.[0] >= '0' && name.[0] <= '9')
+      in
+      let value_ok =
+        value_part = "+Inf" || value_part = "-Inf" || value_part = "NaN"
+        || float_of_string_opt value_part <> None
+      in
+      name_ok && braces_ok && value_ok
+
+let test_prom_exposition () =
+  fresh ();
+  Metrics.set_enabled true;
+  Metrics.add (Metrics.counter ~labels:[ ("tenant", "acme"); ("status", "ok") ] "promtest.requests") 3;
+  Metrics.set (Metrics.gauge "promtest.depth") 2.5;
+  let h = Metrics.histogram ~edges:[| 1.; 10. |] "promtest.lat_ms" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 100. ];
+  let text = Prom.render () in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  (* grammar: every line is a comment or a well-formed sample *)
+  List.iter
+    (fun l ->
+      if not (String.starts_with ~prefix:"# " l) then
+        checkb (Printf.sprintf "sample line %S well-formed" l) true (prom_sample_valid l))
+    lines;
+  (* golden on this test's own metrics (the registry is process-global,
+     so other suites' series are filtered out, not asserted on) *)
+  let mine = List.filter (fun l -> contains l "promtest_") lines in
+  check (Alcotest.list Alcotest.string) "exposition"
+    [
+      "# TYPE promtest_depth gauge";
+      "promtest_depth 2.5";
+      "# TYPE promtest_lat_ms histogram";
+      {|promtest_lat_ms_bucket{le="1"} 1|};
+      {|promtest_lat_ms_bucket{le="10"} 2|};
+      {|promtest_lat_ms_bucket{le="+Inf"} 3|};
+      "promtest_lat_ms_sum 105.5";
+      "promtest_lat_ms_count 3";
+      "# TYPE promtest_requests counter";
+      {|promtest_requests{status="ok",tenant="acme"} 3|};
+    ]
+    mine
+
+(* ------------------------------------------------------------------ *)
+(* Scoped tracing *)
+
+let test_trace_scoped_events () =
+  fresh ();
+  Trace.set_enabled true;
+  Scope.with_scope { Scope.id = 42; tenant = None } (fun () ->
+      Trace.span Trace.Pass "scoped_outer" (fun () ->
+          Trace.span Trace.Schedule "scoped_inner" (fun () -> ())));
+  Trace.span Trace.Pass "unscoped" (fun () -> ());
+  let evs = Trace.scoped_events 42 in
+  checki "exactly the scoped spans" 2 (List.length evs);
+  let tree = Trace.render_tree evs in
+  checkb "outer at depth one" true (contains tree "  scoped_outer [pass]");
+  checkb "inner nested deeper" true (contains tree "    scoped_inner [schedule]");
+  checkb "unscoped span excluded" false (contains tree "unscoped");
+  let json = Json.to_string (Trace.to_json ()) in
+  checkb "export carries request_id args" true (contains json {|"request_id":42|});
+  fresh ()
+
+(* ------------------------------------------------------------------ *)
 
 let tc = Alcotest.test_case
 
@@ -436,13 +676,26 @@ let () =
           tc "histogram fan-out merge" `Quick test_metrics_histogram_fanout_merge;
           tc "kind clash raises" `Quick test_metrics_kind_clash_raises;
           tc "snapshot shape" `Quick test_metrics_snapshot_shape;
+          tc "labels interned" `Quick test_metrics_labels_interned;
+          tc "label cardinality cap" `Quick test_metrics_label_cardinality_cap;
+          tc "hist quantile" `Quick test_metrics_hist_quantile;
         ] );
+      ( "scope",
+        [ tc "nesting and domain-locality" `Quick test_scope_nesting ] );
+      ( "log",
+        [
+          tc "level filtering" `Quick test_log_level_filtering;
+          tc "scope injection" `Quick test_log_scope_injection;
+          tc "concurrent domains line-atomic" `Quick test_log_concurrent_domains;
+        ] );
+      ( "prom", [ tc "exposition" `Quick test_prom_exposition ] );
       ( "trace",
         [
           tc "disabled records nothing" `Quick test_trace_disabled_records_nothing;
           tc "json validity" `Quick test_trace_json_validity;
           tc "ring bounded" `Quick test_trace_ring_bounded;
           tc "feeds profile and metrics" `Quick test_trace_feeds_profile_and_metrics;
+          tc "scoped events and tree" `Quick test_trace_scoped_events;
         ] );
       ("timing", [ tc "bounded memory" `Quick test_timing_bounded ]);
       ( "report",

@@ -10,9 +10,13 @@ module Cost = Hsyn_core.Cost
 module S = Hsyn_core.Synthesize
 module Session = Hsyn_core.Session
 module Serve = Hsyn_serve.Serve
+module Top = Hsyn_serve.Top
 module Suite = Hsyn_benchmarks.Suite
 module Library = Hsyn_modlib.Library
 module Json = Hsyn_util.Json
+module Log = Hsyn_obs.Log
+module Report = Hsyn_obs.Report
+module Trace = Hsyn_obs.Trace
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -68,7 +72,13 @@ let test_wire_doc_roundtrip () =
   let config =
     { test_config with S.vdd_candidates = [ 5.0; 3.3 ]; clk_candidates = Some [ 20.0; 40.0 ] }
   in
-  roundtrip_doc "config doc" (Wire.make_doc ~config (Wire.Bench "dct"))
+  roundtrip_doc "config doc" (Wire.make_doc ~config (Wire.Bench "dct"));
+  roundtrip_doc "tenant doc" (Wire.make_doc ~tenant:"acme" (Wire.Bench "test1"));
+  (* the tenant field is additive: absent from untenanted documents *)
+  checkb "no tenant, no field" false
+    (contains (Json.to_string (Wire.doc_to_json (test1_doc ()))) "tenant");
+  checkb "tenant serialized when present" true
+    (contains (Json.to_string (Wire.doc_to_json (Wire.make_doc ~tenant:"acme" (Wire.Bench "t")))) {|"tenant":"acme"|})
 
 let test_wire_rejects_unknown_field () =
   let json = Wire.doc_to_json (test1_doc ()) in
@@ -253,6 +263,139 @@ let test_metrics_endpoint () =
             ])
 
 (* ------------------------------------------------------------------ *)
+(* request-scoped telemetry *)
+
+let geti k j = Option.get (Option.bind (Json.member k j) Json.to_int_opt)
+
+(* every streamed event line carries its request's id; distinct
+   requests carry distinct ids *)
+let test_request_id_on_event_lines () =
+  with_server (fun _ addr ->
+      let ids_of doc =
+        let lines = request_lines addr doc in
+        let n = List.length lines in
+        let events = List.filteri (fun i _ -> i < n - 1) lines in
+        checkb "request streamed events" true (events <> []);
+        List.map (fun line -> geti "request_id" (parse line)) events
+      in
+      let a = ids_of (test1_doc ()) in
+      let b = ids_of (test1_doc ~objective:Cost.Power ()) in
+      let uniq l = List.sort_uniq compare l in
+      checki "one id across all of request A's events" 1 (List.length (uniq a));
+      checki "one id across all of request B's events" 1 (List.length (uniq b));
+      checkb "ids are positive" true (List.for_all (fun id -> id > 0) (a @ b));
+      checkb "distinct requests, distinct ids" true (List.hd a <> List.hd b))
+
+(* run [f] with the structured log captured to a temp file at Info,
+   returning the NDJSON records; always restores the default logger
+   state (Warn threshold, stderr sink, tracer off) *)
+let with_log_capture f =
+  let path = Filename.temp_file "hsyn-test-serve-log" ".ndjson" in
+  let sink = Report.Sink.create path in
+  Log.set_sink sink;
+  Log.set_level Log.Info;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level Log.Warn;
+      Log.set_sink (Report.Sink.of_channel stderr);
+      Trace.set_enabled false;
+      (try Sys.remove path with Sys_error _ -> ()))
+    (fun () ->
+      f ();
+      Report.Sink.close sink;
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (parse line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go [])
+
+let test_access_log_and_slow_request () =
+  (* slow_ms = 0: every request outruns the cap, so one served request
+     must produce both the access record and the slow-request record *)
+  let config = { Serve.default_config with Serve.slow_ms = Some 0.0 } in
+  let records =
+    with_log_capture (fun () ->
+        with_server ~config (fun _ addr -> ignore (request_lines addr (test1_doc ()))))
+  in
+  let find msg =
+    match List.find_opt (fun j -> Json.member "msg" j = Some (Json.String msg)) records with
+    | Some j -> j
+    | None -> Alcotest.failf "no %S record in the captured log" msg
+  in
+  let access = find "request" in
+  checks "access record is info" "info" (gets "level" access);
+  checks "status" "ok" (gets "status" access);
+  checks "source names the bench" "test1" (gets "source" access);
+  checks "objective" "area" (gets "objective" access);
+  checks "client over a unix socket" "unix" (gets "client" access);
+  checki "config digest is 12 hex chars" 12 (String.length (gets "config_digest" access));
+  checkb "request id stamped" true (geti "request_id" access > 0);
+  let getf k j = Option.get (Option.bind (Json.member k j) Json.to_float_opt) in
+  checkb "queue wait measured" true (getf "queue_wait_ms" access >= 0.0);
+  checkb "run time measured" true (getf "run_ms" access > 0.0);
+  checkb "moves committed reported" true (geti "moves_committed" access >= 0);
+  checkb "cache hit rate reported" true
+    (let r = getf "cache_hit_rate" access in
+     r >= 0.0 && r <= 1.0);
+  let slow = find "slow request" in
+  checks "slow record is warn" "warn" (gets "level" slow);
+  checkb "slow record carries the cap" true (getf "slow_ms" slow = 0.0);
+  checkb "slow and access agree on the request" true
+    (geti "request_id" slow = geti "request_id" access);
+  let tree = gets "span_tree" slow in
+  checkb "span tree is non-empty" true (String.length tree > 0);
+  checkb "span tree is grouped by domain" true (contains tree "domain")
+
+let test_tenant_label_on_request_counter () =
+  with_server (fun _ addr ->
+      let doc =
+        Wire.make_doc ~objective:Cost.Area ~timing:(Wire.Laxity 2.2) ~config:test_config
+          ~tenant:"t1" (Wire.Bench "test1")
+      in
+      ignore (request_lines addr doc);
+      match Serve.Client.metrics ~timeout_s:10. addr with
+      | Error msg -> Alcotest.failf "metrics failed: %s" msg
+      | Ok line ->
+          let counters = Option.get (Json.member "counters" (parse line)) in
+          let series = {|serve.requests{objective="area",status="ok",tenant="t1"}|} in
+          checkb "tenant-labeled series published" true
+            (Option.bind (Json.member series counters) Json.to_int_opt = Some 1))
+
+let test_prometheus_endpoint_and_top () =
+  with_server (fun _ addr ->
+      ignore (request_lines addr (test1_doc ()));
+      (match Serve.Client.prometheus ~timeout_s:10. addr with
+      | Error msg -> Alcotest.failf "prometheus failed: %s" msg
+      | Ok text ->
+          List.iter
+            (fun needle -> checkb (needle ^ " present") true (contains text needle))
+            [
+              "# TYPE serve_completed counter";
+              "# TYPE serve_latency_ms histogram";
+              "serve_latency_ms_bucket{le=";
+              {|le="+Inf"|};
+              "serve_latency_ms_count";
+              {|serve_requests{objective="area",status="ok"}|};
+            ];
+          (* dotted names never leak into the exposition *)
+          checkb "names are sanitized" false (contains text "serve.completed"));
+      (* and the same scrape renders as one hsyn-top frame *)
+      match Serve.Client.metrics ~timeout_s:10. addr with
+      | Error msg -> Alcotest.failf "metrics failed: %s" msg
+      | Ok line -> (
+          match Top.of_line ~at:1.0 line with
+          | Error msg -> Alcotest.failf "top parse failed: %s" msg
+          | Ok sample ->
+              let frame = Top.render sample in
+              List.iter
+                (fun needle -> checkb (needle ^ " in top frame") true (contains frame needle))
+                [ "hsyn top"; "load"; "completed 1"; "p90"; "cache" ]))
+
+(* ------------------------------------------------------------------ *)
 (* clean stop/drain *)
 
 let test_stop_drains_and_unlinks () =
@@ -297,6 +440,13 @@ let () =
           Alcotest.test_case "malformed request survives" `Quick test_malformed_request_survives;
           Alcotest.test_case "deadline clamp mid-stream" `Quick test_deadline_clamp_mid_stream;
           Alcotest.test_case "metrics endpoint" `Quick test_metrics_endpoint;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "request id on every event line" `Quick test_request_id_on_event_lines;
+          Alcotest.test_case "access log and slow request" `Quick test_access_log_and_slow_request;
+          Alcotest.test_case "tenant label on request counter" `Quick test_tenant_label_on_request_counter;
+          Alcotest.test_case "prometheus endpoint and top frame" `Quick test_prometheus_endpoint_and_top;
         ] );
       ( "admission",
         [ Alcotest.test_case "rejects when full" `Quick test_admission_rejects_when_full ] );
