@@ -707,6 +707,94 @@ let session_section () =
      confirms sharing never changes the synthesized design.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Move family E: the same synthesis with and without algebraic
+   rewriting. "ok" requires at least one case where family E strictly
+   improves the best objective value — the datapaths with mult-by-
+   power-of-two taps and long add chains are where the rewrites bite.
+   CI greps BENCH_rewrite.json for "ok":true. *)
+
+let rewrite_section () =
+  header "rewrite" "Move family E: algebraic rewriting on vs off";
+  let cases =
+    [
+      (Suite.avenhaus_cascade (), Cost.Area, 2.2);
+      (Suite.avenhaus_cascade (), Cost.Power, 2.2);
+      (Suite.iir (), Cost.Power, 2.2);
+    ]
+  in
+  let t =
+    Table.create
+      ~header:[ "case"; "with E"; "without E"; "delta %"; "rewrites committed"; "better" ]
+  in
+  let case_objs = ref [] in
+  let any_better = ref false in
+  List.iter
+    (fun ((b : Suite.t), objective, lf) ->
+      let min_ns = S.min_sampling_ns lib b.Suite.registry b.Suite.dfg in
+      let sampling_ns = lf *. min_ns in
+      let case = Printf.sprintf "%s/%s/%.1f" b.Suite.name (Cost.objective_name objective) lf in
+      Printf.printf "  running %s (rewrite on, then off) ...\n%!" case;
+      let run enable_rewrite =
+        synthesize
+          ~config:{ config with S.enable_rewrite }
+          ~lib b.Suite.registry b.Suite.dfg objective ~sampling_ns ()
+      in
+      let on = run true and off = run false in
+      let v_on = Cost.objective_value objective on.S.eval in
+      let v_off = Cost.objective_value objective off.S.eval in
+      let delta = if v_off = 0. then 0. else 100. *. (v_off -. v_on) /. v_off in
+      let kinds = on.S.stats.Pass.rewrite_kinds in
+      let kinds_str =
+        match kinds with
+        | [] -> "-"
+        | ks -> String.concat " " (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) ks)
+      in
+      let better = v_on < v_off in
+      any_better := !any_better || better;
+      Table.add_row t
+        [
+          case;
+          Printf.sprintf "%.1f" v_on;
+          Printf.sprintf "%.1f" v_off;
+          Printf.sprintf "%+.1f%%" delta;
+          kinds_str;
+          (if better then "yes" else "no");
+        ];
+      case_objs :=
+        Json.Obj
+          [
+            ("case", Json.String case);
+            ("with_rewrite", Json.Float v_on);
+            ("without_rewrite", Json.Float v_off);
+            ("improvement_pct", Json.Float delta);
+            ("rewrites_committed",
+             Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) kinds));
+            ("strictly_better", Json.Bool better);
+          ]
+        :: !case_objs)
+    cases;
+  Table.print t;
+  let json =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ("ok", Json.Bool !any_better);
+        ("cases", Json.List (List.rev !case_objs));
+      ]
+  in
+  let line = Json.to_string json in
+  Printf.printf "rewrite-json: %s\n" line;
+  let oc = open_out "BENCH_rewrite.json" in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  (written to BENCH_rewrite.json)\n";
+  Printf.printf
+    "Reading: identical sweeps, identical budgets — the only difference is whether the\n\
+     improvement loop may propose strength reductions, chain rebalancing and CSE.\n\
+     \"ok\" means at least one benchmark ends strictly better with family E enabled.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Persistent cache tier + portfolio search: each workload runs three
    ways — cold (populating and saving the cache), warm (a fresh session
    reloading the persisted cache, simulating a process restart), and as
@@ -1401,6 +1489,7 @@ let () =
   if section "ablation" then ablation ();
   if section "engine" then engine_section ();
   if section "session" then session_section ();
+  if section "rewrite" then rewrite_section ();
   if section "cache" then cache_section ();
   if section "sched" then sched_section ();
   if section "obs" then obs_section ();

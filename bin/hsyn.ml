@@ -230,7 +230,13 @@ let synth_one ~session ~doc progress events_json trace_out metrics_out checkpoin
                   (fun (fam, c) -> Format.printf "  %-12s %a@." fam Engine.pp_counters c)
                   (Session.family_totals session);
                 Format.printf "%a@." Sched.pp_stats (Sched.stats ());
-                Format.printf "%a@." Session.pp_stats (Session.stats session)
+                Format.printf "%a@." Session.pp_stats (Session.stats session);
+                (match r.S.stats.Hsyn_core.Pass.rewrite_kinds with
+                | [] -> ()
+                | kinds ->
+                    Printf.printf "rewrites committed:";
+                    List.iter (fun (k, n) -> Printf.printf " %s %d" k n) kinds;
+                    print_newline ())
               end;
               if profile then begin
                 let module St = Hsyn_util.Stats in
@@ -260,7 +266,7 @@ let synth_one ~session ~doc progress events_json trace_out metrics_out checkpoin
    documents a [serve] client sends, then resolves them through the
    same [Wire.to_request]. [--dump-request] prints them instead. *)
 let make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
-    portfolio cache =
+    portfolio cache no_rewrite =
   Result.bind (load_sources bench file dfg_name) (fun sources ->
       let objective =
         match Cost.objective_of_string objective with Some o -> o | None -> Cost.Area
@@ -278,6 +284,7 @@ let make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s 
           S.default_config with
           S.seed;
           engine = policy;
+          enable_rewrite = not no_rewrite;
           clib_effort = { Clib.default_effort with Clib.engine = policy };
         }
       in
@@ -291,11 +298,12 @@ let make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s 
                  sources)))
 
 let do_synth bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
-    portfolio cache share_session dump_request progress events_json trace_out metrics_out
-    checkpoint resume json show_stats profile show_rtl show_fsm show_sched show_verilog =
+    portfolio cache no_rewrite share_session dump_request progress events_json trace_out
+    metrics_out checkpoint resume json show_stats profile show_rtl show_fsm show_sched
+    show_verilog =
   match
     make_docs bench file dfg_name objective lf sampling mode seed jobs budget_s max_contexts
-      portfolio cache
+      portfolio cache no_rewrite
   with
   | Error msg ->
       prerr_endline ("hsyn: " ^ msg);
@@ -486,13 +494,21 @@ let sched_flag = Arg.(value & flag & info [ "sched" ] ~doc:"Dump the schedule of
 let verilog_flag =
   Arg.(value & flag & info [ "verilog" ] ~doc:"Dump a Verilog-flavoured structural netlist of the result.")
 
+let no_rewrite_flag =
+  Arg.(
+    value & flag
+    & info [ "no-rewrite" ]
+        ~doc:
+          "Disable move family E (algebraic datapath rewriting: strength reduction, chain \
+           re-balancing, common-subexpression extraction). Families A-D still run.")
+
 let synth_cmd =
   let doc = "synthesize a power- or area-optimized RTL circuit" in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const do_synth $ bench_arg $ file_arg $ dfg_arg $ objective_arg $ lf_arg $ sampling_arg
       $ mode_arg $ seed_arg $ jobs_arg $ budget_arg $ max_contexts_arg $ portfolio_arg
-      $ cache_arg $ share_session_flag $ dump_request_flag $ progress_flag $ events_json_arg
+      $ cache_arg $ no_rewrite_flag $ share_session_flag $ dump_request_flag $ progress_flag $ events_json_arg
       $ trace_arg $ metrics_arg $ checkpoint_arg $ resume_flag $ json_flag $ stats_flag
       $ profile_flag $ rtl_flag $ fsm_flag $ sched_flag $ verilog_flag)
 
@@ -697,10 +713,11 @@ let fuzz_oracle_arg =
     value & opt_all string []
     & info [ "oracle" ] ~docv:"NAME"
         ~doc:
-          "Run only this oracle (repeatable). The per-run RNG streams do not depend on the \
-           selection, so a failure found by a full campaign reproduces under its oracle alone. \
-           Known oracles: roundtrip, sched-diff, engine-direct, checkpoint-resume, jobs, embed, \
-           session, cache.")
+          ("Run only this oracle (repeatable). The per-run RNG streams do not depend on the \
+            selection, so a failure found by a full campaign reproduces under its oracle alone. \
+            Known oracles: "
+          ^ String.concat ", " Hsyn_fuzz.Oracle.names
+          ^ "."))
 
 let fuzz_corpus_arg =
   Arg.(

@@ -27,9 +27,11 @@ let magic = "HSYN-CKPT"
    v3: Pass.stats gained [committed] move records and per-family
    [reverted] counts (observability PR).
    v4: Engine.counters (embedded in Pass.stats) gained [disk_hits]
-   (persistent-cache PR). All change the Marshal layout of the
-   incumbent record. *)
-let schema_version = 4
+   (persistent-cache PR).
+   v5: Pass.stats gained per-rewrite-kind committed counts
+   [rewrite_kinds] (move family E PR). All change the Marshal layout
+   of the incumbent record. *)
+let schema_version = 5
 
 let compatible t ~dfg_name ~objective ~sampling_ns ~flattened =
   if t.dfg_name <> dfg_name then

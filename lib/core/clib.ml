@@ -79,6 +79,7 @@ let synthesize_variant ?session ?token ctx registry clib ~rng ~trace_length ~eff
         max_candidates = effort.max_candidates;
         allow_embed = true;
         allow_split = true;
+        allow_rewrite = true;
         fresh_names = 0;
       }
     in

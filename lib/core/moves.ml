@@ -7,13 +7,27 @@ module Fu = Hsyn_modlib.Fu
 module Library = Hsyn_modlib.Library
 module Embed = Hsyn_embed.Embed
 
-type kind = Select | Resynthesize | Merge | Split
+type kind = Select | Resynthesize | Merge | Split | Rewrite
 
-let kind_name = function
-  | Select -> "A:select"
-  | Resynthesize -> "B:resynth"
-  | Merge -> "C:merge"
-  | Split -> "D:split"
+(* The single source of truth for the move-family universe: variant,
+   display name, one-line description. Everything that enumerates
+   families — [kind_name], pass statistics, reports, docs — derives
+   from this table, so adding a family cannot silently desynchronize a
+   hard-coded list elsewhere. *)
+let all_kinds =
+  [
+    (Select, "A:select", "module selection");
+    (Resynthesize, "B:resynth", "resynthesis under environment constraints");
+    (Merge, "C:merge", "merging / resource sharing");
+    (Split, "D:split", "resource splitting");
+    (Rewrite, "E:rewrite", "algebraic datapath rewriting");
+  ]
+
+let kind_name k =
+  let _, name, _ = List.find (fun (k', _, _) -> k' = k) all_kinds in
+  name
+
+let family_names = List.map (fun (_, name, _) -> name) all_kinds
 
 type t = {
   kind : kind;
@@ -37,6 +51,7 @@ type env = {
   max_candidates : int;
   allow_embed : bool;
   allow_split : bool;
+  allow_rewrite : bool;
   mutable fresh_names : int;
 }
 
@@ -510,6 +525,104 @@ let split_candidates env (d : Design.t) : candidate Seq.t =
                    (((Split, Printf.sprintf "split I%d (%s)" i rm.Design.rm_name), d'), Seq.empty))
 
 (* ------------------------------------------------------------------ *)
+(* Move family E: algebraic datapath rewriting *)
+
+module Rewrite_dfg = Hsyn_dfg.Rewrite
+module Sim = Hsyn_eval.Sim
+module Metrics = Hsyn_obs.Metrics
+
+(* Rebind a rewritten graph onto the current design's resources.
+   Nodes surviving the rewrite — matched by label with an unchanged
+   kind — keep their instance binding and register; new nodes get the
+   fastest supporting unit and fresh registers. Returns [None] when
+   the result does not validate (e.g. a rewrite broke a chained-unit
+   binding, or the library has no unit for an introduced operation). *)
+let rebind_rewritten env (d : Design.t) (g' : Dfg.t) =
+  let dfg = d.Design.dfg in
+  let by_label = Hashtbl.create (Array.length dfg.Dfg.nodes) in
+  Array.iteri (fun i (n : Dfg.node) -> Hashtbl.replace by_label n.Dfg.label i) dfg.Dfg.nodes;
+  let extra = ref [] and n_extra = ref 0 in
+  let base = Array.length d.Design.insts in
+  let add_inst k =
+    extra := k :: !extra;
+    incr n_extra;
+    base + !n_extra - 1
+  in
+  match
+    Array.map
+      (fun (node : Dfg.node) ->
+        match node.Dfg.kind with
+        | Dfg.Op op -> (
+            match Hashtbl.find_opt by_label node.Dfg.label with
+            | Some orig
+              when dfg.Dfg.nodes.(orig).Dfg.kind = node.Dfg.kind
+                   && d.Design.node_inst.(orig) >= 0 ->
+                d.Design.node_inst.(orig)
+            | _ -> add_inst (Design.Simple (Library.fastest_for env.ctx.Design.lib op)))
+        | Dfg.Call _ -> (
+            match Hashtbl.find_opt by_label node.Dfg.label with
+            | Some orig when dfg.Dfg.nodes.(orig).Dfg.kind = node.Dfg.kind ->
+                d.Design.node_inst.(orig)
+            | _ -> raise Exit)
+        | Dfg.Input | Dfg.Output | Dfg.Const _ | Dfg.Delay _ -> -1)
+      g'.Dfg.nodes
+  with
+  | exception Exit -> None
+  | exception Not_found -> None
+  | node_inst ->
+      let nv' = Design.n_values g' in
+      let value_reg = Array.make nv' (-1) in
+      let next = ref d.Design.n_regs in
+      for v = 0 to nv' - 1 do
+        let (p : Dfg.port) = Design.value_of_index g' v in
+        let node = g'.Dfg.nodes.(p.Dfg.node) in
+        match node.Dfg.kind with
+        | Dfg.Const _ | Dfg.Output -> ()
+        | Dfg.Input | Dfg.Op _ | Dfg.Call _ | Dfg.Delay _ -> (
+            let preserved =
+              match Hashtbl.find_opt by_label node.Dfg.label with
+              | Some orig when dfg.Dfg.nodes.(orig).Dfg.n_out > p.Dfg.out ->
+                  let ov = Design.value_index dfg { Dfg.node = orig; out = p.Dfg.out } in
+                  if d.Design.value_reg.(ov) >= 0 then Some d.Design.value_reg.(ov) else None
+              | _ -> None
+            in
+            match preserved with
+            | Some r -> value_reg.(v) <- r
+            | None ->
+                value_reg.(v) <- !next;
+                incr next)
+      done;
+      let insts = Array.append d.Design.insts (Array.of_list (List.rev !extra)) in
+      let d' = { Design.dfg = g'; insts; node_inst; value_reg; n_regs = !next } in
+      let d' = Design.compact d' in
+      (match Design.validate env.ctx d' with Ok () -> Some d' | Error _ -> None)
+
+(* Every candidate passes a mandatory bitwise-equivalence gate: the
+   rewritten design is simulated on the environment trace and must
+   reproduce the original design's output stream exactly. A candidate
+   failing the gate is dropped here — it can be rejected but never
+   committed. *)
+let rewrite_candidates env (d : Design.t) : candidate Seq.t =
+  let bump name = if Metrics.is_enabled () then Metrics.incr (Metrics.counter name) in
+  let reference = lazy (Sim.outputs d (Sim.run d env.trace)) in
+  List.to_seq (Rewrite_dfg.candidates d.Design.dfg)
+  |> Seq.filter_map (fun (description, g') ->
+         bump "moves.rewrite.candidates";
+         match rebind_rewritten env d g' with
+         | None ->
+             bump "moves.rewrite.rejected_bind";
+             None
+         | Some d' -> (
+             match Sim.outputs d' (Sim.run d' env.trace) with
+             | outs when outs = Lazy.force reference -> Some ((Rewrite, description), d')
+             | _ ->
+                 bump "moves.rewrite.rejected_sim";
+                 None
+             | exception Invalid_argument _ ->
+                 bump "moves.rewrite.rejected_sim";
+                 None))
+
+(* ------------------------------------------------------------------ *)
 
 let span = Hsyn_obs.Trace.(span Move)
 
@@ -522,4 +635,9 @@ let best_merge env cur_value d =
 
 let best_split env cur_value d =
   if env.allow_split then span "best_split" (fun () -> best_of env cur_value (split_candidates env d))
+  else None
+
+let best_rewrite env cur_value d =
+  if env.allow_rewrite then
+    span "best_rewrite" (fun () -> best_of env cur_value (rewrite_candidates env d))
   else None

@@ -14,6 +14,12 @@
       registers by lifetime (left-edge).
     - {b D — splitting}: split a multiplexed instance (simple or
       complex) into two, opening power-optimization freedom.
+    - {b E — rewriting}: algebraic datapath rewriting of the
+      behavior's own DFG ({!Hsyn_dfg.Rewrite}): strength reduction,
+      chain re-balancing, common-subexpression extraction. Every
+      candidate is rebound onto the current resources and must
+      simulate bitwise-identically to the original design on the
+      environment trace before it is offered to the engine.
 
     Every candidate is validated by rescheduling, and its gain is the
     decrease of the objective (negative gains are legal — the
@@ -28,9 +34,20 @@ module Design = Hsyn_rtl.Design
 module Sched = Hsyn_sched.Sched
 module Registry = Hsyn_dfg.Registry
 
-type kind = Select | Resynthesize | Merge | Split
+type kind = Select | Resynthesize | Merge | Split | Rewrite
+
+val all_kinds : (kind * string * string) list
+(** The move-family universe — [(kind, display name, one-line
+    description)] — in sweep order. The single source of truth behind
+    {!kind_name}, {!family_names}, pass statistics and user-facing
+    family tables. *)
 
 val kind_name : kind -> string
+(** Display name of a family, e.g. ["A:select"], ["E:rewrite"] —
+    derived from {!all_kinds}. *)
+
+val family_names : string list
+(** All display names, in {!all_kinds} order. *)
 
 type t = {
   kind : kind;
@@ -55,6 +72,7 @@ type env = {
   max_candidates : int;  (** cap on evaluated candidates per family *)
   allow_embed : bool;  (** enable complex-module merging via RTL embedding *)
   allow_split : bool;  (** enable move family D *)
+  allow_rewrite : bool;  (** enable move family E *)
   mutable fresh_names : int;  (** counter for generated module names *)
 }
 
@@ -67,3 +85,8 @@ val best_merge : env -> float -> Design.t -> t option
 
 val best_split : env -> float -> Design.t -> t option
 (** Best resource-splitting move (statement 10). *)
+
+val best_rewrite : env -> float -> Design.t -> t option
+(** Best algebraic rewriting move (family E). [None] when
+    [env.allow_rewrite] is false or no candidate survives rebinding,
+    validation and the mandatory simulation-equivalence gate. *)

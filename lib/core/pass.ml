@@ -19,6 +19,7 @@ type stats = {
   log : string list;
   committed : committed_move list;
   reverted : (string * int) list;
+  rewrite_kinds : (string * int) list;
   engine : Engine.counters;
   engine_families : (string * Engine.counters) list;
   sched : Sched.stats;
@@ -50,6 +51,7 @@ let improve ?token ?(in_quota = false) ?on_pass ?on_commit (env : Moves.env) ~ma
         log = [];
         committed = [];
         reverted = [];
+        rewrite_kinds = [];
         engine = Engine.zero;
         engine_families = [];
         sched = Sched.zero_stats;
@@ -79,10 +81,24 @@ let improve ?token ?(in_quota = false) ?on_pass ?on_commit (env : Moves.env) ~ma
       |> List.filter (fun (_, (c : Engine.counters)) -> c.Engine.generated > 0)
     in
     let sched_delta = Sched.sub_stats (Sched.stats ()) sched_before in
+    (* per-rewrite-kind attribution of committed family-E moves,
+       classified from the description's kind prefix (the single
+       source of truth is Rewrite.kind_of_description) *)
+    let rewrite_family = Moves.kind_name Moves.Rewrite in
+    let rewrite_kinds =
+      List.fold_left
+        (fun acc (m : committed_move) ->
+          if m.cm_family = rewrite_family then
+            bump_reverted acc (Hsyn_dfg.Rewrite.kind_of_description m.cm_description) 1
+          else acc)
+        [] !stats.committed
+      |> List.sort compare
+    in
     ( current,
       {
         !stats with
         reverted = List.sort compare !stats.reverted;
+        rewrite_kinds;
         engine = delta;
         engine_families = fam_delta;
         sched = sched_delta;
@@ -137,10 +153,15 @@ let improve ?token ?(in_quota = false) ?on_pass ?on_commit (env : Moves.env) ~ma
                             | _ -> Some s)
                         | None -> weak)
                   in
-                  match m1, m3 with
-                  | None, None -> None
-                  | Some m, None | None, Some m -> Some m
-                  | Some a, Some b -> if a.Moves.gain >= b.Moves.gain then Some a else Some b
+                  (* family E competes on equal footing with the
+                     structural moves; earlier families win ties *)
+                  let m5 = Moves.best_rewrite env !cur_val !cur in
+                  let better a b =
+                    match a, b with
+                    | None, m | m, None -> m
+                    | Some a', Some b' -> if a'.Moves.gain >= b'.Moves.gain then a else b
+                  in
+                  better (better m1 m3) m5
                 with
                 | exception Budget.Interrupted _ ->
                     interrupt ();

@@ -36,6 +36,11 @@ type stats = {
   reverted : (string * int) list;
       (** per family, tentative moves tried but rolled back (beyond
           the committed prefix of their pass); sorted by family *)
+  rewrite_kinds : (string * int) list;
+      (** committed family-E moves per rewrite kind (see
+          {!Hsyn_dfg.Rewrite.kinds}), classified from the move
+          description's kind prefix; sorted by kind, kinds with no
+          commits omitted *)
   engine : Engine.counters;
       (** engine work attributed to this improvement run (delta over
           the run, not process totals) *)

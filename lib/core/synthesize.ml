@@ -23,6 +23,7 @@ type config = {
   enable_resynth : bool;
   enable_embed : bool;
   enable_split : bool;
+  enable_rewrite : bool;
   clib_effort : Clib.effort;
   engine : Engine.policy;
   strategy : int;
@@ -42,6 +43,7 @@ let default_config =
     enable_resynth = true;
     enable_embed = true;
     enable_split = true;
+    enable_rewrite = true;
     clib_effort = Clib.default_effort;
     engine = Engine.default_policy;
     strategy = 0;
@@ -85,7 +87,7 @@ module Config = struct
       ?(vdd_candidates = default.vdd_candidates) ?(clk_candidates = default.clk_candidates)
       ?(max_clocks = default.max_clocks) ?(enable_resynth = default.enable_resynth)
       ?(enable_embed = default.enable_embed) ?(enable_split = default.enable_split)
-      ?(clib_effort = default.clib_effort) ?(engine = default.engine)
+      ?(enable_rewrite = default.enable_rewrite) ?(clib_effort = default.clib_effort) ?(engine = default.engine)
       ?(strategy = default.strategy) () =
     validate
       {
@@ -101,6 +103,7 @@ module Config = struct
         enable_resynth;
         enable_embed;
         enable_split;
+        enable_rewrite;
         clib_effort;
         engine;
         strategy;
@@ -118,6 +121,7 @@ module Config = struct
   let with_resynth v t = { t with enable_resynth = v }
   let with_embed v t = { t with enable_embed = v }
   let with_split v t = { t with enable_split = v }
+  let with_rewrite v t = { t with enable_rewrite = v }
   let with_clib_effort v t = { t with clib_effort = v }
   let with_engine v t = { t with engine = v }
   let with_strategy v t = { t with strategy = v }
@@ -342,6 +346,7 @@ let make_resynth ?session ?token config registry complexes seed =
         max_candidates = config.clib_effort.Clib.max_candidates;
         allow_embed = config.enable_embed;
         allow_split = config.enable_split;
+        allow_rewrite = config.enable_rewrite;
         fresh_names = 0;
       }
     in
@@ -396,6 +401,7 @@ let run_context ~session ?token ~events ~index (req : Request.t) config dfg
       max_candidates = config.max_candidates;
       allow_embed = config.enable_embed;
       allow_split = config.enable_split;
+      allow_rewrite = config.enable_rewrite;
       fresh_names = 0;
     }
   in

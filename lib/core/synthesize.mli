@@ -39,6 +39,7 @@ type config = {
   enable_resynth : bool;  (** allow move B *)
   enable_embed : bool;  (** allow complex-module merging via RTL embedding *)
   enable_split : bool;  (** allow move family D *)
+  enable_rewrite : bool;  (** allow move family E (algebraic rewriting) *)
   clib_effort : Clib.effort;
   engine : Engine.policy;
       (** evaluation-engine policy (jobs, cache capacity, staging) used
@@ -76,6 +77,7 @@ module Config : sig
     ?enable_resynth:bool ->
     ?enable_embed:bool ->
     ?enable_split:bool ->
+    ?enable_rewrite:bool ->
     ?clib_effort:Clib.effort ->
     ?engine:Engine.policy ->
     ?strategy:int ->
@@ -103,6 +105,7 @@ module Config : sig
   val with_resynth : bool -> t -> t
   val with_embed : bool -> t -> t
   val with_split : bool -> t -> t
+  val with_rewrite : bool -> t -> t
   val with_clib_effort : Clib.effort -> t -> t
   val with_engine : Engine.policy -> t -> t
   val with_strategy : int -> t -> t

@@ -223,6 +223,7 @@ let config_to_json (c : Synthesize.Config.t) =
       ("enable_resynth", Json.Bool c.Synthesize.enable_resynth);
       ("enable_embed", Json.Bool c.Synthesize.enable_embed);
       ("enable_split", Json.Bool c.Synthesize.enable_split);
+      ("enable_rewrite", Json.Bool c.Synthesize.enable_rewrite);
       ("clib", effort_to_json c.Synthesize.clib_effort);
       ("engine", policy_to_json c.Synthesize.engine);
       ("strategy", Json.Int c.Synthesize.strategy);
@@ -274,6 +275,9 @@ let config_of_json v =
         | "enable_split" ->
             let* b = as_bool v in
             Ok { c with Synthesize.enable_split = b }
+        | "enable_rewrite" ->
+            let* b = as_bool v in
+            Ok { c with Synthesize.enable_rewrite = b }
         | "clib" ->
             let* e = effort_of_json c.Synthesize.clib_effort v in
             Ok { c with Synthesize.clib_effort = e }

@@ -29,8 +29,8 @@ let eval op args =
   | Add, [ a; b ] -> wrap (signed a + signed b)
   | Sub, [ a; b ] -> wrap (signed a - signed b)
   | Mult, [ a; b ] -> wrap (signed a * signed b)
-  | Lsh, [ a; b ] -> wrap (signed a lsl (wrap b land 0xF))
-  | Rsh, [ a; b ] -> wrap (signed a asr (wrap b land 0xF))
+  | Lsh, [ a; b ] -> wrap (signed a lsl Hsyn_util.Bits.shift_amount b)
+  | Rsh, [ a; b ] -> wrap (signed a asr Hsyn_util.Bits.shift_amount b)
   | Neg, [ a ] -> wrap (-signed a)
   | Abs, [ a ] -> wrap (abs (signed a))
   | Min, [ a; b ] -> wrap (min (signed a) (signed b))

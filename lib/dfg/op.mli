@@ -33,6 +33,21 @@ val all : t list
 val eval : t -> int list -> int
 (** Reference semantics on [Bits.word_width]-bit two's-complement
     words. The operand list length must equal [arity].
+
+    Corner cases are total and deliberately defined, because the
+    rewrite engine's legality checks, the behavioral simulator, and
+    the power model's activity estimation must agree bit-for-bit:
+
+    - [Lsh]/[Rsh] take their effective shift distance from
+      {!Hsyn_util.Bits.shift_amount}: the low 4 bits of the truncated
+      second operand, so amounts >= 16 and "negative" amounts wrap
+      (16 shifts by 0, -1 shifts by 15). [Rsh] is arithmetic
+      (sign-propagating).
+    - [Neg] and [Abs] of the most negative word (0x8000 = -32768)
+      both yield 0x8000 again under two's-complement wrap; [Abs] can
+      therefore return a negative value, exactly as in hardware.
+    - [Add]/[Sub]/[Mult] wrap modulo 2^16.
+
     @raise Invalid_argument on arity mismatch. *)
 
 val commutative : t -> bool

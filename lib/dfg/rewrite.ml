@@ -1,0 +1,294 @@
+(* Algebraic datapath rewriting (move family E).
+
+   Every rewrite here is a pure graph-to-graph transform: it takes a
+   [Dfg.t] and produces a candidate [Dfg.t] that computes the same
+   function on word_width-bit two's-complement words. Legality rests
+   on the exact wrap semantics documented in [Op.eval] and
+   [Bits.shift_amount]; the move layer additionally simulates every
+   candidate against the original design and drops any that is not
+   bitwise equivalent, so an unsound rewrite can cost a candidate slot
+   but can never be committed. *)
+
+module B = Dfg.Builder
+module Bits = Hsyn_util.Bits
+
+let kinds = [ "sr"; "rebal"; "cse" ]
+
+(* Descriptions are "<kind>:<site>"; the kind prefix is the single
+   source of truth for per-rewrite-kind attribution in Pass.stats and
+   the bench section. *)
+let kind_of_description d =
+  match String.index_opt d ':' with
+  | Some i ->
+      let k = String.sub d 0 i in
+      if List.mem k kinds then k else "other"
+  | None -> "other"
+
+(* ------------------------------------------------------------------ *)
+(* Generic rebuild: re-run [g] through the Builder, omitting [skip]ped
+   nodes, redirecting original-space ports through [subst], and
+   letting [custom] take over the emission of selected nodes. Returns
+   [None] when the result is malformed (Builder.finish re-validates),
+   which simply drops the candidate.                                   *)
+
+let rebuild (g : Dfg.t) ?(skip = fun _ -> false) ?(subst = fun _ -> None)
+    ?(custom = fun _ -> None) () =
+  let n = Array.length g.Dfg.nodes in
+  let ports : Dfg.port option array array =
+    Array.init n (fun i -> Array.make (max 1 g.Dfg.nodes.(i).Dfg.n_out) None)
+  in
+  let b = B.create g.Dfg.name in
+  (* resolve an original port to its rebuilt counterpart; substitution
+     steps always point at strictly earlier nodes, so this terminates *)
+  let rec resolve (p : Dfg.port) =
+    match subst p with
+    | Some q -> resolve q
+    | None -> (
+        match ports.(p.Dfg.node).(p.Dfg.out) with Some q -> q | None -> raise Exit)
+  in
+  let feeds = ref [] in
+  match
+    Array.iteri
+      (fun i (node : Dfg.node) ->
+        if not (skip i) then
+          match custom i with
+          | Some emit -> ports.(i).(0) <- Some (emit b resolve node)
+          | None -> (
+              match node.Dfg.kind with
+              | Dfg.Input -> ports.(i).(0) <- Some (B.input b node.Dfg.label)
+              | Dfg.Const c -> ports.(i).(0) <- Some (B.const b ~label:node.Dfg.label c)
+              | Dfg.Op o ->
+                  let args = Array.to_list (Array.map resolve node.Dfg.ins) in
+                  ports.(i).(0) <- Some (B.op b ~label:node.Dfg.label o args)
+              | Dfg.Call behavior ->
+                  let args = Array.to_list (Array.map resolve node.Dfg.ins) in
+                  let outs = B.call b ~label:node.Dfg.label ~behavior ~n_out:node.Dfg.n_out args in
+                  Array.iteri (fun k p -> ports.(i).(k) <- Some p) outs
+              | Dfg.Delay init ->
+                  (* the feed may reference nodes not rebuilt yet: patch
+                     after the full pass *)
+                  let p, feed = B.delay_feed b ~label:node.Dfg.label ~init () in
+                  ports.(i).(0) <- Some p;
+                  feeds := (node.Dfg.ins.(0), feed) :: !feeds
+              | Dfg.Output -> B.output b ~label:node.Dfg.label (resolve node.Dfg.ins.(0))))
+      g.Dfg.nodes;
+    List.iter (fun (src, feed) -> feed (resolve src)) !feeds;
+    B.finish b
+  with
+  | g' -> Some g'
+  | exception Exit -> None
+  | exception Invalid_argument _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction.                                                 *)
+
+let const_word (g : Dfg.t) (p : Dfg.port) =
+  match g.Dfg.nodes.(p.Dfg.node).Dfg.kind with
+  | Dfg.Const c -> Some (Bits.truncate c)
+  | _ -> None
+
+(* [log2_pow2 c] is [Some k] when [c = 2^k], for c in 1..0xFFFF. *)
+let log2_pow2 c =
+  if c <= 0 || c land (c - 1) <> 0 then None
+  else
+    let rec go k v = if v = 1 then Some k else go (k + 1) (v lsr 1) in
+    go 0 c
+
+let strength_reduce (g : Dfg.t) =
+  let out = ref [] in
+  let add d g' = out := (d, g') :: !out in
+  Array.iteri
+    (fun v (node : Dfg.node) ->
+      match node.Dfg.kind with
+      | Dfg.Op Op.Mult -> (
+          (* find a constant operand; x is the other one *)
+          let pick =
+            match (const_word g node.Dfg.ins.(1), const_word g node.Dfg.ins.(0)) with
+            | Some c, _ -> Some (node.Dfg.ins.(0), node.Dfg.ins.(1), c)
+            | None, Some c -> Some (node.Dfg.ins.(1), node.Dfg.ins.(0), c)
+            | None, None -> None
+          in
+          match pick with
+          | None -> ()
+          | Some (_, c_port, 0) ->
+              (* x * 0 = 0: alias the multiplier to the zero constant *)
+              let subst (p : Dfg.port) = if p.Dfg.node = v then Some c_port else None in
+              Option.iter (add ("sr:" ^ node.Dfg.label ^ ":zero"))
+                (rebuild g ~skip:(Int.equal v) ~subst ())
+          | Some (x, _, 1) ->
+              (* x * 1 = x: alias the multiplier to its variable operand *)
+              let subst (p : Dfg.port) = if p.Dfg.node = v then Some x else None in
+              Option.iter (add ("sr:" ^ node.Dfg.label ^ ":one"))
+                (rebuild g ~skip:(Int.equal v) ~subst ())
+          | Some (x, _, c) -> (
+              match log2_pow2 c with
+              | None -> ()
+              | Some k ->
+                  (* x * 2^k = x << k (mod 2^16), for every k in 0..15 —
+                     including c = 0x8000, where both sides agree because
+                     -2^15 = 2^15 (mod 2^16) *)
+                  let custom i =
+                    if i <> v then None
+                    else
+                      Some
+                        (fun b resolve (nd : Dfg.node) ->
+                          let sa = B.const b ~label:(nd.Dfg.label ^ "#sa") k in
+                          B.op b ~label:nd.Dfg.label Op.Lsh [ resolve x; sa ])
+                  in
+                  Option.iter (add ("sr:" ^ node.Dfg.label ^ ":shift")) (rebuild g ~custom ())))
+      | Dfg.Op ((Op.Lsh | Op.Rsh) as o) -> (
+          match const_word g node.Dfg.ins.(1) with
+          | Some c when Bits.shift_amount c = 0 ->
+              (* a shift by an amount wrapping to 0 is the identity *)
+              let x = node.Dfg.ins.(0) in
+              let subst (p : Dfg.port) = if p.Dfg.node = v then Some x else None in
+              Option.iter (add ("sr:" ^ node.Dfg.label ^ ":nop"))
+                (rebuild g ~skip:(Int.equal v) ~subst ())
+          | Some c when Bits.shift_amount c <> c ->
+              (* canonicalize an out-of-range or "negative" shift amount
+                 to its effective distance, shrinking the constant *)
+              let custom i =
+                if i <> v then None
+                else
+                  Some
+                    (fun b resolve (nd : Dfg.node) ->
+                      let sa = B.const b ~label:(nd.Dfg.label ^ "#sa") (Bits.shift_amount c) in
+                      B.op b ~label:nd.Dfg.label o [ resolve nd.Dfg.ins.(0); sa ])
+              in
+              Option.iter (add ("sr:" ^ node.Dfg.label ^ ":shamt")) (rebuild g ~custom ())
+          | _ -> ())
+      | _ -> ())
+    g.Dfg.nodes;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Associativity re-balancing of Add/Mult/Min/Max chains.
+
+   All four are associative on two's-complement words: Add and Mult
+   modulo 2^16, Min and Max as lattice operations on signed values.
+   We collect the maximal same-operation tree whose internal nodes
+   have a single consumer, keep the leaves in their original order
+   (commutativity is not needed), and re-parenthesize as a balanced
+   tree, which shortens the critical path through the chain.          *)
+
+let associative = function Op.Add | Op.Mult | Op.Min | Op.Max -> true | _ -> false
+
+let rebalance (g : Dfg.t) =
+  let n = Array.length g.Dfg.nodes in
+  let uses = Array.make n 0 in
+  let same_op_consumer = Array.make n false in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      Array.iter
+        (fun (p : Dfg.port) ->
+          uses.(p.Dfg.node) <- uses.(p.Dfg.node) + 1;
+          match (node.Dfg.kind, g.Dfg.nodes.(p.Dfg.node).Dfg.kind) with
+          | Dfg.Op a, Dfg.Op b when a = b -> same_op_consumer.(p.Dfg.node) <- true
+          | _ -> ())
+        node.Dfg.ins)
+    g.Dfg.nodes;
+  let out = ref [] in
+  Array.iteri
+    (fun v (node : Dfg.node) ->
+      match node.Dfg.kind with
+      | Dfg.Op o
+        when associative o
+             (* only maximal chain roots: an internal node is subsumed
+                by the rewrite rooted at its consumer *)
+             && not (uses.(v) = 1 && same_op_consumer.(v)) ->
+          let internals = ref [] in
+          (* leaves left to right, with the depth at which each sits *)
+          let rec collect (p : Dfg.port) depth acc =
+            let nd = g.Dfg.nodes.(p.Dfg.node) in
+            match nd.Dfg.kind with
+            | Dfg.Op o' when o' = o && uses.(p.Dfg.node) = 1 ->
+                internals := p.Dfg.node :: !internals;
+                let acc = collect nd.Dfg.ins.(0) (depth + 1) acc in
+                collect nd.Dfg.ins.(1) (depth + 1) acc
+            | _ -> (p, depth) :: acc
+          in
+          let leaves =
+            List.rev
+              (List.fold_left (fun acc p -> collect p 1 acc) [] (Array.to_list node.Dfg.ins))
+          in
+          let m = List.length leaves in
+          let depth = List.fold_left (fun d (_, dp) -> max d dp) 0 leaves in
+          let balanced_depth =
+            let rec ceil_log2 k acc = if 1 lsl acc >= k then acc else ceil_log2 k (acc + 1) in
+            ceil_log2 m 0
+          in
+          if m >= 3 && balanced_depth < depth then begin
+            let skip_set = !internals in
+            let leaf_ports = Array.of_list (List.map fst leaves) in
+            let custom i =
+              if i <> v then None
+              else
+                Some
+                  (fun b resolve (nd : Dfg.node) ->
+                    let fresh = ref 0 in
+                    let len = Array.length leaf_ports in
+                    let rec build lo hi =
+                      if lo = hi then resolve leaf_ports.(lo)
+                      else
+                        let mid = (lo + hi) / 2 in
+                        let l = build lo mid in
+                        let r = build (mid + 1) hi in
+                        let label =
+                          if lo = 0 && hi = len - 1 then nd.Dfg.label
+                          else begin
+                            incr fresh;
+                            nd.Dfg.label ^ "#rb" ^ string_of_int !fresh
+                          end
+                        in
+                        B.op b ~label o [ l; r ]
+                    in
+                    build 0 (len - 1))
+            in
+            match rebuild g ~skip:(fun i -> List.mem i skip_set) ~custom () with
+            | Some g' -> out := ("rebal:" ^ node.Dfg.label, g') :: !out
+            | None -> ()
+          end
+      | _ -> ())
+    g.Dfg.nodes;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Common-subexpression extraction: two structurally identical
+   operation nodes (same op, same operand ports — possibly swapped
+   when the op commutes) compute the same value; the later duplicate
+   is dropped and its consumers share the earlier node's result.      *)
+
+let cse (g : Dfg.t) =
+  let out = ref [] in
+  let nodes = g.Dfg.nodes in
+  let n = Array.length nodes in
+  for d = 0 to n - 1 do
+    match nodes.(d).Dfg.kind with
+    | Dfg.Op o ->
+        let matches r =
+          match nodes.(r).Dfg.kind with
+          | Dfg.Op o' when o' = o ->
+              let a = nodes.(r).Dfg.ins and b = nodes.(d).Dfg.ins in
+              let eq = Array.length a = Array.length b && Array.for_all2 ( = ) a b in
+              eq
+              || (Op.commutative o && Array.length a = 2 && Array.length b = 2
+                 && a.(0) = b.(1) && a.(1) = b.(0))
+          | _ -> false
+        in
+        let rec first_match r = if r >= d then None else if matches r then Some r else first_match (r + 1) in
+        (match first_match 0 with
+        | Some r ->
+            let rep = { Dfg.node = r; out = 0 } in
+            let subst (p : Dfg.port) = if p.Dfg.node = d then Some rep else None in
+            (match rebuild g ~skip:(Int.equal d) ~subst () with
+            | Some g' ->
+                out := ("cse:" ^ nodes.(d).Dfg.label ^ "->" ^ nodes.(r).Dfg.label, g') :: !out
+            | None -> ())
+        | None -> ())
+    | _ -> ()
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+
+let candidates g = strength_reduce g @ rebalance g @ cse g

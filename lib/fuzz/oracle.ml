@@ -485,6 +485,48 @@ let check_embed rng (prog : Text.program) =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* rewrite: every algebraic rewrite candidate simulates bitwise-      *)
+(* identically to its original graph on random stimulus.              *)
+
+module Rewrite = Hsyn_dfg.Rewrite
+
+let check_rewrite rng (prog : Text.program) =
+  let registry = prog.Text.registry in
+  let top = Gen.top_graph prog in
+  let n_inputs = Array.length top.Dfg.inputs in
+  let trace = Trace.generate (Rng.split rng) Trace.default_kind ~n_inputs ~length:6 in
+  (* hierarchical side: an initial design over each rewritten top
+     graph must reproduce the original design's output stream *)
+  let d0 = initial_design ctx5 prog in
+  let want = Sim.outputs d0 (Sim.run d0 trace) in
+  let rec hier = function
+    | [] -> Ok ()
+    | (desc, g') :: rest ->
+        let* () =
+          match Dfg.validate g' with
+          | Ok () -> Ok ()
+          | Error e -> fail "%s: rewritten graph invalid: %s" desc e
+        in
+        let d' = Initial.build ctx5 ~complexes:no_complexes registry g' in
+        let got = Sim.outputs d' (Sim.run d' trace) in
+        if got <> want then fail "%s: rewritten top graph computes differently" desc
+        else hier rest
+  in
+  let* () = hier (Rewrite.candidates top) in
+  (* flat side: flattening exposes longer chains and more sharing, so
+     the same check on the flattened graph covers more rewrite sites *)
+  let flat = Flatten.flatten registry top in
+  let want_flat = Sim.run_flat flat trace in
+  let rec flat_go = function
+    | [] -> Ok ()
+    | (desc, g') :: rest ->
+        if Sim.run_flat g' trace <> want_flat then
+          fail "%s: rewritten flat graph computes differently" desc
+        else flat_go rest
+  in
+  flat_go (Rewrite.candidates flat)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -515,6 +557,15 @@ let all =
       name = "embed";
       doc = "module merging preserves behavior (via simulation) and shared-resource invariants";
       check = check_embed;
+    };
+    (* registered last: the fuzz runner splits one RNG stream per
+       registered oracle in [all] order, so appending keeps every
+       pre-existing oracle's stream — and its historical repro seeds —
+       unchanged *)
+    {
+      name = "rewrite";
+      doc = "algebraic rewrite candidates ≡ original graph through simulation";
+      check = check_rewrite;
     };
   ]
 

@@ -25,17 +25,13 @@ let droppable (g : Dfg.t) v =
       && not (Array.exists (fun (p : Dfg.port) -> p.Dfg.node = v) n.Dfg.ins)
 
 (* Rebuild [g] without node [v] through the Builder (Dfg.t is private;
-   the Builder re-validates for free). Returns [None] when the result
+   the Builder re-validates for free), substituting [replacement k]
+   for references to [v]'s output [k]. Returns [None] when the result
    is malformed — e.g. removing the last op re-creates a combinational
    cycle some delay was breaking. *)
-let remove_node (g : Dfg.t) v =
+let rebuild_without (g : Dfg.t) v replacement =
   if not (droppable g v) then None
   else
-    let victim = g.Dfg.nodes.(v) in
-    let replacement k =
-      let ins = victim.Dfg.ins in
-      ins.(min k (Array.length ins - 1))
-    in
     let b = B.create g.Dfg.name in
     let n = Array.length g.Dfg.nodes in
     let ports : Dfg.port option array array =
@@ -76,6 +72,21 @@ let remove_node (g : Dfg.t) v =
     | g' -> Some g'
     | exception Exit -> None
     | exception Invalid_argument _ -> None
+
+let remove_node (g : Dfg.t) v =
+  let ins = g.Dfg.nodes.(v).Dfg.ins in
+  rebuild_without g v (fun k -> ins.(min k (Array.length ins - 1)))
+
+(* Coarser surgery: replace the node by ONE of its operands, rewiring
+   every consumer port to operand [j] regardless of which output it
+   consumed. This is the reduction that undoes algebraic rewrites — a
+   rebalanced or strength-reduced subtree collapses back to one of its
+   leaves, so rewrite-oracle repros minimize past rewritten structure
+   that [remove_node]'s positional rewiring cannot reach. *)
+let replace_by_operand (g : Dfg.t) v j =
+  let ins = g.Dfg.nodes.(v).Dfg.ins in
+  if j < 0 || j >= Array.length ins then None
+  else rebuild_without g v (fun _ -> ins.(j))
 
 (* ------------------------------------------------------------------ *)
 (* Program-level candidates, biggest reduction first.                 *)
@@ -125,19 +136,33 @@ let candidates r =
     List.init (Array.length g.Dfg.nodes) (fun k -> Array.length g.Dfg.nodes - 1 - k)
     |> List.filter_map (fun v -> Option.map rebuild (remove_node g v))
   in
-  let top_drops = node_drops_in r.top (fun top -> { r with top }) in
-  let variant_drops =
+  let node_replaces_in g rebuild =
+    (* same later-nodes-first order as drops; [j = 0] on single-output
+       nodes would duplicate [remove_node]'s default rewiring of the
+       sole output, so only the remaining operands are offered there *)
+    List.init (Array.length g.Dfg.nodes) (fun k -> Array.length g.Dfg.nodes - 1 - k)
+    |> List.concat_map (fun v ->
+           let node = g.Dfg.nodes.(v) in
+           List.init (Array.length node.Dfg.ins) Fun.id
+           |> List.filter (fun j -> j > 0 || node.Dfg.n_out > 1)
+           |> List.filter_map (fun j -> Option.map rebuild (replace_by_operand g v j)))
+  in
+  let in_variants gen =
     List.concat_map
       (fun (b, vs) ->
         List.concat (List.mapi
           (fun i g ->
-            node_drops_in g (fun g' ->
+            gen g (fun g' ->
                 let vs' = List.mapi (fun j v -> if j = i then g' else v) vs in
                 { r with behaviors = List.map (fun (b', vs0) -> (b', if b' = b then vs' else vs0)) r.behaviors }))
           vs))
       r.behaviors
   in
-  drop_behaviors @ drop_variants @ top_drops @ variant_drops
+  let top_drops = node_drops_in r.top (fun top -> { r with top }) in
+  let variant_drops = in_variants node_drops_in in
+  let top_replaces = node_replaces_in r.top (fun top -> { r with top }) in
+  let variant_replaces = in_variants node_replaces_in in
+  drop_behaviors @ drop_variants @ top_drops @ variant_drops @ top_replaces @ variant_replaces
 
 (* ------------------------------------------------------------------ *)
 

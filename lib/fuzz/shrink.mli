@@ -3,10 +3,10 @@
     Starting from a sample that makes an oracle fail, repeatedly try
     the candidate reductions — drop an uncalled behavior, drop a
     surplus variant, remove one node (consumers rewired to the removed
-    node's own inputs) — and keep the first reduction that is still
-    well-formed {e and} still fails, until a fixpoint or the check
-    budget runs out. The result is a small, human-readable [.hsyn]
-    repro of the same divergence. *)
+    node's own inputs), or replace a node by one of its operands — and
+    keep the first reduction that is still well-formed {e and} still
+    fails, until a fixpoint or the check budget runs out. The result
+    is a small, human-readable [.hsyn] repro of the same divergence. *)
 
 module Dfg = Hsyn_dfg.Dfg
 module Text = Hsyn_dfg.Text
@@ -17,6 +17,16 @@ val remove_node : Dfg.t -> int -> Dfg.t option
     when [v] is not removable (interface node, used const/delay,
     self-feeding, or the result fails validation). Exposed for
     tests. *)
+
+val replace_by_operand : Dfg.t -> int -> int -> Dfg.t option
+(** [replace_by_operand g v j] rebuilds [g] without node [v], rewiring
+    {e every} consumer of [v] (whatever output it consumed) to [v]'s
+    input [j]. Same removability gate as {!remove_node}; additionally
+    [None] when [j] is out of range. This is the reduction that
+    collapses a rewritten subtree (rebalanced chain, strength-reduced
+    multiply) back to one of its leaves, letting [rewrite]-oracle
+    repros minimize past structure {!remove_node} cannot reach.
+    Exposed for tests. *)
 
 type stats = {
   size_before : int;  (** {!Gen.size} of the original sample *)

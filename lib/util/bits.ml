@@ -10,6 +10,8 @@ let popcount n =
 
 let hamming a b = popcount (truncate a lxor truncate b)
 
+let shift_amount v = truncate v land (word_width - 1)
+
 let to_signed v =
   let v = truncate v in
   if v land (1 lsl (word_width - 1)) <> 0 then v - (1 lsl word_width) else v

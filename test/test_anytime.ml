@@ -281,6 +281,89 @@ let test_checkpoint_compatibility () =
       | Ok _ -> Alcotest.fail "corrupt checkpoint accepted"
       | Error _ -> ())
 
+let test_checkpoint_schema_versions () =
+  (* a checkpoint from an older or newer build must be refused with a
+     version message, not crash in Marshal on a stale layout *)
+  let path = Filename.temp_file "hsyn_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      let write_header version =
+        let oc = open_out_bin path in
+        output_string oc "HSYN-CKPT";
+        output_binary_int oc version;
+        output_string oc "payload that must never be unmarshalled";
+        close_out oc
+      in
+      List.iter
+        (fun v ->
+          write_header v;
+          match Checkpoint.load path with
+          | Ok _ -> Alcotest.failf "schema v%d accepted" v
+          | Error msg ->
+              checkb
+                (Printf.sprintf "v%d names the version" v)
+                true
+                (contains msg (Printf.sprintf "schema version %d" v));
+              checkb
+                (Printf.sprintf "v%d names the expected version" v)
+                true
+                (contains msg (Printf.sprintf "expected %d" Checkpoint.schema_version)))
+        [ Checkpoint.schema_version - 1; Checkpoint.schema_version + 1 ];
+      (* right version, torn payload: a clean "truncated/corrupt" error *)
+      let oc = open_out_bin path in
+      output_string oc "HSYN-CKPT";
+      output_binary_int oc Checkpoint.schema_version;
+      close_out oc;
+      match Checkpoint.load path with
+      | Ok _ -> Alcotest.fail "torn checkpoint accepted"
+      | Error _ -> ())
+
+let test_resume_mid_rewrite_sweep () =
+  (* same determinism contract as [test_checkpoint_resume_identical],
+     on the benchmark where move family E commits rewrites: a run
+     interrupted between contexts of a rewrite-heavy sweep and resumed
+     must converge bit-identically to the uninterrupted run *)
+  let b = Suite.avenhaus_cascade () in
+  let full =
+    match S.synthesize (request b) with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  checkb "family E committed rewrites" true
+    (full.S.stats.Hsyn_core.Pass.rewrite_kinds <> []);
+  let planned = full.S.coverage.S.contexts_planned in
+  checkb "enough contexts to interrupt" true (planned >= 2);
+  let path = Filename.temp_file "hsyn_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let budget =
+        match Budget.make ~max_contexts:(planned - 1) () with
+        | Ok x -> x
+        | Error e -> Alcotest.fail e
+      in
+      (match S.synthesize ~checkpoint:path (request ~budget b) with
+      | Ok r -> checkb "interrupted" true (not r.S.completed)
+      | Error _ -> ());
+      checkb "checkpoint written" true (Sys.file_exists path);
+      let resumed =
+        match S.synthesize ~checkpoint:path ~resume:true (request b) with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      checkb "resumed completed" true resumed.S.completed;
+      Alcotest.(check int64)
+        "bit-identical design" (Design.fingerprint full.S.design)
+        (Design.fingerprint resumed.S.design);
+      Alcotest.(check (float 0.)) "same power" full.S.eval.Cost.power resumed.S.eval.Cost.power;
+      checkb "same rewrites attributed" true
+        (full.S.stats.Hsyn_core.Pass.rewrite_kinds
+        = resumed.S.stats.Hsyn_core.Pass.rewrite_kinds))
+
 let test_resume_missing_is_cold_start () =
   let b = Suite.test1 () in
   let path = Filename.temp_file "hsyn_test" ".ckpt" in
@@ -351,6 +434,8 @@ let () =
         [
           tc "resume identical" test_checkpoint_resume_identical;
           tc "compatibility" test_checkpoint_compatibility;
+          tc "schema versions" test_checkpoint_schema_versions;
+          tc "resume mid rewrite sweep" test_resume_mid_rewrite_sweep;
           tc "missing is cold start" test_resume_missing_is_cold_start;
         ] );
       ("json", [ tc "result json" test_result_json; tc "builder" test_json_builder ]);

@@ -39,6 +39,7 @@ let env ?(registry = Registry.create ()) ?(objective = Cost.Area) ?(deadline = 1
     max_candidates = 40;
     allow_embed = true;
     allow_split = true;
+    allow_rewrite = true;
     fresh_names = 0;
   }
 
@@ -165,6 +166,7 @@ let test_move_b_resynthesizes_with_slack () =
         max_candidates = 20;
         allow_embed = true;
         allow_split = true;
+        allow_rewrite = true;
         fresh_names = 0;
       }
     in

@@ -52,6 +52,54 @@ let test_op_eval_wraps () =
   checki "wrap add" 0 (Op.eval Op.Add [ 0x8000; 0x8000 ]);
   checkb "wrap mult stays in word" true (Op.eval Op.Mult [ 0x7fff; 0x7fff ] land lnot 0xffff = 0)
 
+let test_op_eval_shift_boundaries () =
+  (* the shift distance is Bits.shift_amount: the low 4 bits of the
+     TRUNCATED amount operand. One definition shared by Op.eval (and
+     through it Sim and the power model) and rewrite legality — these
+     tests pin the boundary behavior all of them must agree on. *)
+  let module Bits = Hsyn_util.Bits in
+  checki "shift_amount in range is itself" 5 (Bits.shift_amount 5);
+  checki "shift_amount 15" 15 (Bits.shift_amount 15);
+  checki "shift_amount 16 wraps to 0" 0 (Bits.shift_amount 16);
+  checki "shift_amount 17 wraps to 1" 1 (Bits.shift_amount 17);
+  checki "shift_amount -1 is 15" 15 (Bits.shift_amount (-1));
+  checki "shift_amount truncates first" 5 (Bits.shift_amount 0x12345);
+  (* exhaustive against the reference semantics, including amounts at
+     and past the word width and negative amounts *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun k ->
+          let d = Bits.shift_amount k in
+          let s = Bits.to_signed (Bits.truncate a) in
+          checki
+            (Printf.sprintf "lsh 0x%04x by %d" (Bits.truncate a) k)
+            ((s lsl d) land 0xffff)
+            (Op.eval Op.Lsh [ a; k ]);
+          checki
+            (Printf.sprintf "rsh 0x%04x by %d" (Bits.truncate a) k)
+            ((s asr d) land 0xffff)
+            (Op.eval Op.Rsh [ a; k ]))
+        [ 0; 1; 2; 14; 15; 16; 17; 31; 32; -1; -2; 0x8000; 0xffff ])
+    [ 0; 1; 3; 0x7fff; 0x8000; 0xabcd; 0xffff ];
+  (* spot checks of the interesting cells of that matrix *)
+  checki "lsh by 16 is identity (amount wraps to 0)" 3 (Op.eval Op.Lsh [ 3; 16 ]);
+  checki "lsh by 17 is lsh by 1" 6 (Op.eval Op.Lsh [ 3; 17 ]);
+  checki "lsh by -1 is lsh by 15" 0x8000 (Op.eval Op.Lsh [ 1; -1 ]);
+  checki "rsh is arithmetic: sign extends" 0xc000 (Op.eval Op.Rsh [ 0x8000; 1 ]);
+  checki "rsh of negative by 15 saturates to -1" 0xffff (Op.eval Op.Rsh [ 0x8000; 15 ]);
+  checki "rsh of positive by 15 is 0" 0 (Op.eval Op.Rsh [ 0x7fff; 15 ])
+
+let test_op_eval_min_int () =
+  (* min_int (0x8000 = -32768) has no 16-bit positive counterpart:
+     Neg and Abs both wrap back to it, like hardware two's complement *)
+  checki "neg of min_int is min_int" 0x8000 (Op.eval Op.Neg [ 0x8000 ]);
+  checki "abs of min_int is min_int" 0x8000 (Op.eval Op.Abs [ 0x8000 ]);
+  checki "abs of -1" 1 (Op.eval Op.Abs [ 0xffff ]);
+  checki "abs of max positive" 0x7fff (Op.eval Op.Abs [ 0x7fff ]);
+  checki "min is signed" 0x8000 (Op.eval Op.Min [ 0x8000; 0x7fff ]);
+  checki "max is signed" 0x7fff (Op.eval Op.Max [ 0x8000; 0x7fff ])
+
 let test_op_eval_arity_mismatch () =
   Alcotest.check_raises "too few" (Invalid_argument "Op.eval: arity mismatch for add") (fun () ->
       ignore (Op.eval Op.Add [ 1 ]))
@@ -355,6 +403,8 @@ let () =
           tc "name roundtrip" test_op_name_roundtrip;
           tc "eval semantics" test_op_eval_semantics;
           tc "eval wraps" test_op_eval_wraps;
+          tc "eval shift boundaries" test_op_eval_shift_boundaries;
+          tc "eval min_int" test_op_eval_min_int;
           tc "eval arity mismatch" test_op_eval_arity_mismatch;
           tc "commutative" test_op_commutative;
         ] );

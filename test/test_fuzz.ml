@@ -101,6 +101,32 @@ let test_remove_node () =
   | None -> Alcotest.fail "neg should be droppable"
   | Some g' -> checkb "still valid" true (Dfg.validate g' = Ok ())
 
+let test_replace_by_operand () =
+  let g = diamond () in
+  let has op (g' : Dfg.t) =
+    Array.exists (fun (n : Dfg.node) -> n.Dfg.kind = Dfg.Op op) g'.Dfg.nodes
+  in
+  (* node ids: 0 input, 1 neg, 2 mult, 3 add, 4 output *)
+  checkb "input not replaceable" true (Shrink.replace_by_operand g 0 0 = None);
+  checkb "operand index out of range" true (Shrink.replace_by_operand g 2 2 = None);
+  checkb "negative operand index" true (Shrink.replace_by_operand g 2 (-1) = None);
+  (* replacing the add by its SECOND operand keeps the mult alive —
+     a rewiring remove_node's positional default (operand 0 for
+     output 0) can never produce *)
+  (match Shrink.replace_by_operand g 3 1 with
+  | None -> Alcotest.fail "add should be replaceable by an operand"
+  | Some g' ->
+      checki "one node fewer" (Array.length g.Dfg.nodes - 1) (Array.length g'.Dfg.nodes);
+      checkb "still valid" true (Dfg.validate g' = Ok ());
+      checkb "add gone" true (not (has Op.Add g'));
+      checkb "mult survives as the output" true (has Op.Mult g'));
+  (* replacing the neg by its only operand rewires both consumers to i0 *)
+  match Shrink.replace_by_operand g 1 0 with
+  | None -> Alcotest.fail "neg should be replaceable"
+  | Some g' ->
+      checkb "still valid" true (Dfg.validate g' = Ok ());
+      checkb "neg gone" true (not (has Op.Neg g'))
+
 let test_shrink_converges () =
   (* find a generated program containing a Mult and shrink it under
      the predicate "still contains a Mult": the fixpoint must keep the
@@ -195,6 +221,7 @@ let () =
       ( "shrink",
         [
           Alcotest.test_case "remove_node" `Quick test_remove_node;
+          Alcotest.test_case "replace_by_operand" `Quick test_replace_by_operand;
           Alcotest.test_case "converges" `Quick test_shrink_converges;
           Alcotest.test_case "budget" `Quick test_shrink_budget;
         ] );

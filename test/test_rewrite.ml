@@ -1,0 +1,186 @@
+(* Tests for the algebraic rewriting rules behind move family E: each
+   rule's structural effect on small graphs, and — the property the
+   move layer's soundness rests on — bitwise equivalence of every
+   candidate to its original graph through simulation. *)
+
+module Dfg = Hsyn_dfg.Dfg
+module Op = Hsyn_dfg.Op
+module B = Hsyn_dfg.Dfg.Builder
+module Rewrite = Hsyn_dfg.Rewrite
+module Sim = Hsyn_eval.Sim
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let count op (g : Dfg.t) =
+  Array.fold_left
+    (fun acc (n : Dfg.node) -> if n.Dfg.kind = Dfg.Op op then acc + 1 else acc)
+    0 g.Dfg.nodes
+
+(* bitwise equivalence over a shared pseudo-random trace; the graphs
+   under test are flat (no calls), so the direct simulator applies *)
+let equiv g g' =
+  let tr = Tu.trace ~length:16 g in
+  Sim.run_flat g tr = Sim.run_flat g' tr
+
+let check_all_candidates name g =
+  List.iter
+    (fun (desc, g') ->
+      checkb (name ^ ": " ^ desc ^ " valid") true (Dfg.validate g' = Ok ());
+      checkb (name ^ ": " ^ desc ^ " equivalent") true (equiv g g'))
+    (Rewrite.candidates g)
+
+(* ------------------------------------------------------------------ *)
+
+let mult_by_const c =
+  let b = B.create "m" in
+  let x = B.input b "x" in
+  let k = B.const b ~label:"k" c in
+  let m = B.op b ~label:"m" Op.Mult [ x; k ] in
+  B.output b ~label:"y" m;
+  B.finish b
+
+let shift_by_const op c =
+  let b = B.create "s" in
+  let x = B.input b "x" in
+  let k = B.const b ~label:"k" c in
+  let s = B.op b ~label:"s" op [ x; k ] in
+  B.output b ~label:"y" s;
+  B.finish b
+
+let test_strength_reduce_pow2 () =
+  List.iter
+    (fun c ->
+      let g = mult_by_const c in
+      match Rewrite.strength_reduce g with
+      | [ (desc, g') ] ->
+          checks "kind" "sr" (Rewrite.kind_of_description desc);
+          checki (Printf.sprintf "mult by %d gone" c) 0 (count Op.Mult g');
+          checki (Printf.sprintf "lsh for %d appeared" c) 1 (count Op.Lsh g');
+          checkb (Printf.sprintf "mult by %d equivalent" c) true (equiv g g')
+      | l -> Alcotest.failf "mult by %d: expected 1 candidate, got %d" c (List.length l))
+    (* 0x8000 = 2^15 is sound too: x * -2^15 = x * 2^15 (mod 2^16) *)
+    [ 2; 4; 8; 0x4000; 0x8000 ]
+
+let test_strength_reduce_trivial () =
+  (* x*1 collapses to x (no op nodes at all), x*0 to the constant *)
+  let g1 = mult_by_const 1 in
+  (match Rewrite.strength_reduce g1 with
+  | [ (_, g') ] ->
+      checki "mult by 1 erased" 0 (count Op.Mult g' + count Op.Lsh g');
+      checkb "mult by 1 equivalent" true (equiv g1 g')
+  | l -> Alcotest.failf "mult by 1: expected 1 candidate, got %d" (List.length l));
+  let g0 = mult_by_const 0 in
+  match Rewrite.strength_reduce g0 with
+  | [ (_, g') ] ->
+      checki "mult by 0 erased" 0 (count Op.Mult g');
+      checkb "mult by 0 equivalent" true (equiv g0 g')
+  | l -> Alcotest.failf "mult by 0: expected 1 candidate, got %d" (List.length l)
+
+let test_strength_reduce_non_pow2 () =
+  List.iter
+    (fun c ->
+      let g = mult_by_const c in
+      checki (Printf.sprintf "mult by %d untouched" c) 0
+        (List.length (Rewrite.strength_reduce g)))
+    [ 3; 5; 0x7fff; 0xffff ]
+
+let test_shift_canonicalization () =
+  (* amount wrapping to 0 erases the shift entirely *)
+  List.iter
+    (fun (op, name) ->
+      let g = shift_by_const op 16 in
+      match Rewrite.strength_reduce g with
+      | [ (_, g') ] ->
+          checki (name ^ " by 16 erased") 0 (count op g');
+          checkb (name ^ " by 16 equivalent") true (equiv g g')
+      | l -> Alcotest.failf "%s by 16: expected 1 candidate, got %d" name (List.length l))
+    [ (Op.Lsh, "lsh"); (Op.Rsh, "rsh") ];
+  (* out-of-range amount is canonicalized to its low 4 bits *)
+  let g = shift_by_const Op.Lsh 17 in
+  (match Rewrite.strength_reduce g with
+  | [ (_, g') ] ->
+      checkb "canonical const 1 present" true
+        (Array.exists (fun (n : Dfg.node) -> n.Dfg.kind = Dfg.Const 1) g'.Dfg.nodes);
+      checkb "lsh by 17 equivalent" true (equiv g g')
+  | l -> Alcotest.failf "lsh by 17: expected 1 candidate, got %d" (List.length l));
+  (* in-range shifts are already canonical: nothing proposed *)
+  checki "lsh by 3 untouched" 0 (List.length (Rewrite.strength_reduce (shift_by_const Op.Lsh 3)))
+
+let test_rebalance_chain () =
+  let g = Tu.add_chain_graph () in
+  match Rewrite.rebalance g with
+  | [ (desc, g') ] ->
+      checks "kind" "rebal" (Rewrite.kind_of_description desc);
+      checki "op count unchanged" (count Op.Add g) (count Op.Add g');
+      checkb "equivalent" true (equiv g g')
+  | l -> Alcotest.failf "chain3: expected 1 rebalance candidate, got %d" (List.length l)
+
+let test_rebalance_skips_balanced () =
+  (* small_graph is (a+b)*(c+d): already balanced, nothing to do *)
+  checki "balanced untouched" 0 (List.length (Rewrite.rebalance (Tu.small_graph ())))
+
+let test_cse () =
+  (* two structurally identical adds, the second with swapped operands
+     (add commutes, so it still counts as a duplicate) *)
+  let b = B.create "dup" in
+  let x = B.input b "x" and y = B.input b "y" in
+  let s1 = B.op b ~label:"s1" Op.Add [ x; y ] in
+  let s2 = B.op b ~label:"s2" Op.Add [ y; x ] in
+  let m = B.op b ~label:"m" Op.Mult [ s1; s2 ] in
+  B.output b ~label:"o" m;
+  let g = B.finish b in
+  match Rewrite.cse g with
+  | [ (desc, g') ] ->
+      checks "kind" "cse" (Rewrite.kind_of_description desc);
+      checki "one add fewer" (count Op.Add g - 1) (count Op.Add g');
+      checkb "equivalent" true (equiv g g')
+  | l -> Alcotest.failf "dup: expected 1 cse candidate, got %d" (List.length l)
+
+let test_cse_distinct_untouched () =
+  (* (a+b)*(c+d): the adds share an op but not operands *)
+  checki "distinct subexpressions kept" 0 (List.length (Rewrite.cse (Tu.small_graph ())))
+
+let test_all_candidates_sound () =
+  (* the umbrella property on every fixture: whatever candidates come
+     out, each is valid and bitwise-equivalent *)
+  check_all_candidates "chain" (Tu.add_chain_graph ());
+  check_all_candidates "small" (Tu.small_graph ());
+  check_all_candidates "m8" (mult_by_const 8);
+  check_all_candidates "m0x8000" (mult_by_const 0x8000);
+  check_all_candidates "lsh17" (shift_by_const Op.Lsh 17)
+
+let test_kind_of_description () =
+  checks "sr" "sr" (Rewrite.kind_of_description "sr:m");
+  checks "rebal" "rebal" (Rewrite.kind_of_description "rebal:s3");
+  checks "cse" "cse" (Rewrite.kind_of_description "cse:s2");
+  checks "unknown kind" "other" (Rewrite.kind_of_description "frobnicate:x");
+  checks "no separator" "other" (Rewrite.kind_of_description "sr");
+  checkb "kinds table" true (Rewrite.kinds = [ "sr"; "rebal"; "cse" ])
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "rewrite"
+    [
+      ( "strength-reduce",
+        [
+          tc "mult by 2^k" test_strength_reduce_pow2;
+          tc "mult by 0/1" test_strength_reduce_trivial;
+          tc "non-power untouched" test_strength_reduce_non_pow2;
+          tc "shift canonicalization" test_shift_canonicalization;
+        ] );
+      ( "rebalance",
+        [
+          tc "chain" test_rebalance_chain;
+          tc "balanced untouched" test_rebalance_skips_balanced;
+        ] );
+      ( "cse",
+        [ tc "duplicate adds" test_cse; tc "distinct untouched" test_cse_distinct_untouched ]
+      );
+      ( "soundness",
+        [
+          tc "all candidates valid + equivalent" test_all_candidates_sound;
+          tc "kind attribution" test_kind_of_description;
+        ] );
+    ]
